@@ -1,0 +1,109 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (go test -bench=. -benchmem). Each benchmark runs the corresponding
+// experiment harness at a reduced scale so the whole file completes in
+// minutes; cmd/rppm-experiments runs the same harnesses at full fidelity
+// and prints the reports.
+package rppm_test
+
+import (
+	"testing"
+
+	"rppm/internal/experiments"
+)
+
+// benchCfg is the reduced-fidelity configuration used by benchmarks.
+var benchCfg = experiments.Config{Scale: 0.15, Seed: 1}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TableI(2000, 5, 1)
+		if len(res.MonteCarlo) == 0 {
+			b.Fatal("empty Table I")
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIII(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Names) != 10 {
+			b.Fatalf("Table III covers %d benchmarks, want 10", len(res.Names))
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	small := experiments.Config{Scale: 0.08, Seed: 1} // 16 benchmarks x 5 simulated configs
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableV(small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 16 {
+			b.Fatalf("Table V covers %d benchmarks, want 16", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 26 {
+			b.Fatalf("Figure 4 covers %d benchmarks, want 26", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 26 {
+			b.Fatal("Figure 5 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 10 {
+			b.Fatal("Figure 6 incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationGlobalRD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGlobalRD(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCoherence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCoherence(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMLP(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rppm/internal/arch"
+	"rppm/internal/core"
+	"rppm/internal/interval"
+	"rppm/internal/profiler"
+	"rppm/internal/sim"
+	"rppm/internal/workload"
+)
+
+func main() {
+	cfg := arch.Base()
+	scale := 0.3
+	names := os.Args[1:]
+	if len(names) == 0 {
+		names = []string{"hotspot", "nn", "lavaMD"}
+	}
+	for _, name := range names {
+		bm, err := workload.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		prof, err := profiler.Run(bm.Build(1, scale), profiler.Options{})
+		if err != nil {
+			panic(err)
+		}
+		simRes, err := sim.Run(bm.Build(1, scale), cfg)
+		if err != nil {
+			panic(err)
+		}
+		pred, err := core.Predict(prof, cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("=== %s: sim %.0f pred %.0f (err %+.1f%%)\n", name, simRes.Cycles, pred.Cycles,
+			100*(pred.Cycles-simRes.Cycles)/simRes.Cycles)
+		for t := 0; t < 2; t++ {
+			ss := simRes.Threads[t].Stack
+			ps := pred.Threads[t].Stack
+			fmt.Printf(" t%d sim : N=%7d base=%8.0f br=%7.0f I$=%7.0f L2=%7.0f LLC=%7.0f dram=%8.0f sync=%8.0f\n",
+				t, ss.Instr, ss.Base, ss.Branch, ss.ICache, ss.MemL2, ss.MemLLC, ss.MemDRAM, ss.Sync)
+			fmt.Printf("    pred: N=%7d base=%8.0f br=%7.0f I$=%7.0f L2=%7.0f LLC=%7.0f dram=%8.0f sync=%8.0f\n",
+				ps.Instr, ps.Base, ps.Branch, ps.ICache, ps.MemL2, ps.MemLLC, ps.MemDRAM, ps.Sync)
+			agg := prof.Threads[t].Aggregate()
+			dg := interval.Diagnose(agg, &cfg)
+			fmt.Printf("    diag: Deff=%.2f cres=%.1f mL1D=%.3f mL2=%.3f mLLC=%.3f mL1I=%.3f MLP=%.2f(misses %d) brMiss=%.3f loads=%d\n",
+				dg.Deff, dg.Cres, dg.MissRate.L1D, dg.MissRate.L2, dg.MissRate.LLC, dg.MissRate.L1I, dg.MLP, dg.MLPMisses, dg.BranchMiss, agg.Loads)
+			// implied sim MLP
+			simDram := ss.MemDRAM
+			impliedMisses := float64(agg.Loads) * dg.MissRate.LLC
+			if simDram > 0 {
+				fmt.Printf("    implied sim MLP ~= %.2f\n", impliedMisses*float64(cfg.MemLatency)/simDram)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command rppm-experiments regenerates the paper's evaluation: Tables I–V,
+// Figures 4–6 and the ablation studies.
+//
+// Usage:
+//
+//	rppm-experiments [-scale 0.3] [-seed 1] [experiment...]
+//
+// With no arguments it runs everything. Experiment names: table1 table2
+// table3 table4 table5 fig4 fig5 fig6 ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rppm/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.3, "workload scale factor (1.0 = full size)")
+	seed := flag.Uint64("seed", 1, "workload generation seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	which := flag.Args()
+	if len(which) == 0 {
+		which = []string{"table1", "table2", "table3", "table4", "table5", "fig4", "fig5", "fig6", "ablations"}
+	}
+
+	for _, name := range which {
+		start := time.Now()
+		if err := runOne(name, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "rppm-experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}
+
+func runOne(name string, cfg experiments.Config) error {
+	switch name {
+	case "table1":
+		fmt.Println(experiments.TableI(100000, 10, cfg.Seed))
+	case "table2":
+		fmt.Println(experiments.TableII())
+	case "table3":
+		res, err := experiments.TableIII(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	case "table4":
+		fmt.Println(experiments.TableIV())
+	case "table5":
+		res, err := experiments.TableV(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	case "fig4":
+		res, err := experiments.Figure4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	case "fig5":
+		res, err := experiments.Figure5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	case "fig6":
+		res, err := experiments.Figure6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	case "ablations":
+		for _, f := range []func(experiments.Config) (*experiments.AblationResult, error){
+			experiments.AblationGlobalRD,
+			experiments.AblationCoherence,
+			experiments.AblationMLP,
+		} {
+			res, err := f(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+	default:
+		return fmt.Errorf("unknown experiment (have table1..table5, fig4..fig6, ablations)")
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Command rppm profiles, predicts and simulates the built-in multithreaded
+// benchmark suite.
+//
+// Usage:
+//
+//	rppm list                          # list benchmarks and configurations
+//	rppm predict  -bench NAME [flags]  # profile once, predict a config
+//	rppm simulate -bench NAME [flags]  # cycle-level reference simulation
+//	rppm compare  -bench NAME [flags]  # MAIN/CRIT/RPPM vs simulation
+//	rppm bottle   -bench NAME [flags]  # bottle graphs (model vs simulation)
+//
+// Common flags: -config (smallest|small|base|big|biggest), -scale, -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rppm"
+	"rppm/internal/arch"
+	"rppm/internal/textplot"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	benchName := fs.String("bench", "", "benchmark name (see `rppm list`)")
+	configName := fs.String("config", "base", "target configuration name")
+	scale := fs.Float64("scale", 0.3, "workload scale factor (1.0 = full size)")
+	seed := fs.Uint64("seed", 1, "workload generation seed")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch cmd {
+	case "list":
+		list()
+	case "predict", "simulate", "compare", "bottle":
+		if *benchName == "" {
+			fatal(fmt.Errorf("missing -bench; try `rppm list`"))
+		}
+		cfg, err := configByName(*configName)
+		if err != nil {
+			fatal(err)
+		}
+		if err := run(cmd, *benchName, cfg, *scale, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle} [-bench NAME] [-config base] [-scale 0.3] [-seed 1]")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rppm:", err)
+	os.Exit(1)
+}
+
+func configByName(name string) (rppm.Config, error) {
+	for _, c := range rppm.DesignSpace() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return rppm.Config{}, fmt.Errorf("unknown config %q (have smallest, small, base, big, biggest)", name)
+}
+
+func list() {
+	fmt.Println("benchmarks:")
+	var rows [][]string
+	for _, b := range rppm.Benchmarks() {
+		rows = append(rows, []string{b.Name, b.Kind.String(), b.Input})
+	}
+	fmt.Print(textplot.Table([]string{"name", "suite", "input"}, rows))
+	fmt.Println("\nconfigurations:")
+	var crows [][]string
+	for _, c := range rppm.DesignSpace() {
+		crows = append(crows, []string{c.Name,
+			fmt.Sprintf("%.2f GHz", c.FrequencyGHz),
+			fmt.Sprintf("width %d", c.DispatchWidth),
+			fmt.Sprintf("ROB %d", c.ROBSize)})
+	}
+	fmt.Print(textplot.Table([]string{"name", "clock", "pipeline", "window"}, crows))
+}
+
+func run(cmd, benchName string, cfg arch.Config, scale float64, seed uint64) error {
+	bench, err := rppm.BenchmarkByName(benchName)
+	if err != nil {
+		return err
+	}
+	prog := bench.Build(seed, scale)
+
+	switch cmd {
+	case "simulate":
+		res, err := rppm.Simulate(prog, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s on %s: %.0f cycles (%.3f ms), %d instructions\n",
+			benchName, cfg.Name, res.Cycles, res.Seconds*1e3, res.TotalInstr())
+		for t, tr := range res.Threads {
+			fmt.Printf("  t%d: %8d instr, active %.0f, idle %.0f cycles\n",
+				t, tr.Instr, tr.ActiveCycles, tr.IdleCycles)
+		}
+		return nil
+
+	case "predict":
+		prof, err := rppm.Profile(prog)
+		if err != nil {
+			return err
+		}
+		pred, err := rppm.Predict(prof, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s on %s: predicted %.0f cycles (%.3f ms)\n",
+			benchName, cfg.Name, pred.Cycles, pred.Seconds*1e3)
+		fmt.Println(textplot.StackLegend())
+		for t, tp := range pred.Threads {
+			fmt.Printf("  t%d |%s\n", t, textplot.StackBar(tp.Stack, pred.Cycles, 60))
+		}
+		return nil
+
+	case "compare":
+		prof, err := rppm.Profile(prog)
+		if err != nil {
+			return err
+		}
+		simRes, err := rppm.Simulate(bench.Build(seed, scale), cfg)
+		if err != nil {
+			return err
+		}
+		mainC, err := rppm.PredictMain(prof, cfg)
+		if err != nil {
+			return err
+		}
+		critC, err := rppm.PredictCrit(prof, cfg)
+		if err != nil {
+			return err
+		}
+		pred, err := rppm.Predict(prof, cfg)
+		if err != nil {
+			return err
+		}
+		e := func(p float64) string {
+			return fmt.Sprintf("%+.1f%%", 100*(p-simRes.Cycles)/simRes.Cycles)
+		}
+		fmt.Print(textplot.Table(
+			[]string{"predictor", "cycles", "error vs sim"},
+			[][]string{
+				{"simulation", fmt.Sprintf("%.0f", simRes.Cycles), ""},
+				{"MAIN", fmt.Sprintf("%.0f", mainC), e(mainC)},
+				{"CRIT", fmt.Sprintf("%.0f", critC), e(critC)},
+				{"RPPM", fmt.Sprintf("%.0f", pred.Cycles), e(pred.Cycles)},
+			}))
+		return nil
+
+	case "bottle":
+		prof, err := rppm.Profile(prog)
+		if err != nil {
+			return err
+		}
+		pred, err := rppm.Predict(prof, cfg)
+		if err != nil {
+			return err
+		}
+		simRes, err := rppm.Simulate(bench.Build(seed, scale), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(textplot.SideBySideBottles(benchName,
+			rppm.BottleGraphOf(pred), rppm.BottleGraphOfSim(simRes), 5))
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}

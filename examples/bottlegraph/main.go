@@ -1,0 +1,48 @@
+// Bottle graphs: the paper's second case study. RPPM's symbolic execution
+// yields per-thread active intervals, from which bottle graphs (Du Bois et
+// al., OOPSLA 2013) visualize each thread's criticality (box height) and
+// parallelism (box width). The predicted graph is compared against the
+// simulator's — without ever running the application on the target.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rppm"
+	"rppm/internal/textplot"
+)
+
+func main() {
+	// Three benchmarks spanning the paper's Figure 6 groups:
+	// blackscholes — balanced worker pool, idle main thread;
+	// freqmine     — the main thread is the bottleneck;
+	// vips         — imbalanced pipeline, workers limited to parallelism 3.
+	for _, name := range []string{"blackscholes", "freqmine", "vips"} {
+		bench, err := rppm.BenchmarkByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog := bench.Build(1, 0.3)
+
+		profile, err := rppm.Profile(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := rppm.Predict(profile, rppm.BaseConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		golden, err := rppm.Simulate(bench.Build(1, 0.3), rppm.BaseConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		model := rppm.BottleGraphOf(pred)
+		sim := rppm.BottleGraphOfSim(golden)
+		fmt.Print(textplot.SideBySideBottles(name, model, sim, 5))
+		fmt.Printf(" bottleneck thread: RPPM t%d, simulation t%d; parallelism: RPPM %.2f, simulation %.2f\n\n",
+			model.Bottleneck(), sim.Bottleneck(),
+			model.AverageParallelism(), sim.AverageParallelism())
+	}
+}

@@ -1,0 +1,71 @@
+// Design-space exploration: the paper's first case study. A single
+// microarchitecture-independent profile predicts performance across five
+// design points that trade pipeline width against clock frequency at equal
+// peak throughput; exhaustive simulation verifies the predicted optimum.
+//
+// This is the workflow RPPM exists for: the profile is collected once
+// (expensive), after which each additional design point costs only an
+// analytical evaluation (microseconds to milliseconds), while each
+// simulator run costs orders of magnitude more.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rppm"
+)
+
+func main() {
+	bench, err := rppm.BenchmarkByName("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const seed, scale = 1, 0.3
+
+	start := time.Now()
+	profile, err := rppm.Profile(bench.Build(seed, scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	profCost := time.Since(start)
+
+	fmt.Printf("design-space exploration for %s (profile cost: %v, paid once)\n\n",
+		bench.Name, profCost.Round(time.Millisecond))
+	fmt.Printf("%-10s %-28s %14s %14s\n", "config", "core", "predicted", "simulated")
+
+	var predBest, simBest string
+	var predBestT, simBestT float64
+	for _, cfg := range rppm.DesignSpace() {
+		t0 := time.Now()
+		pred, err := rppm.Predict(profile, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		predCost := time.Since(t0)
+
+		golden, err := rppm.Simulate(bench.Build(seed, scale), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-10s %.2f GHz, width %d, ROB %3d %11.3fms %11.3fms   (prediction took %v)\n",
+			cfg.Name, cfg.FrequencyGHz, cfg.DispatchWidth, cfg.ROBSize,
+			pred.Seconds*1e3, golden.Seconds*1e3, predCost.Round(time.Microsecond))
+
+		if predBest == "" || pred.Seconds < predBestT {
+			predBest, predBestT = cfg.Name, pred.Seconds
+		}
+		if simBest == "" || golden.Seconds < simBestT {
+			simBest, simBestT = cfg.Name, golden.Seconds
+		}
+	}
+
+	fmt.Printf("\nRPPM's pick: %s; exhaustive simulation's pick: %s\n", predBest, simBest)
+	if predBest == simBest {
+		fmt.Println("RPPM identified the true optimum without simulating the design space.")
+	} else {
+		fmt.Println("RPPM picked a near-optimal point; relax the bound (Table V) to recover the optimum.")
+	}
+}

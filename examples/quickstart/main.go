@@ -1,0 +1,56 @@
+// Quickstart: profile a multithreaded benchmark once, predict its execution
+// time on a multicore configuration, and check the prediction against the
+// cycle-level reference simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rppm"
+)
+
+func main() {
+	// Pick a benchmark from the built-in suite (16 Rodinia-like + 10
+	// Parsec-like workloads) and instantiate it: seed 1, 30% of full size.
+	bench, err := rppm.BenchmarkByName("streamcluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := bench.Build(1, 0.3)
+
+	// Profile it once. The profile is microarchitecture-independent: it
+	// knows nothing about any particular processor.
+	profile, err := rppm.Profile(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s: %d instructions across %d threads\n",
+		bench.Name, profile.TotalInstr(), profile.NumThreads)
+
+	// Predict performance on the base configuration (quad-core, 2.5 GHz,
+	// 4-wide out-of-order).
+	cfg := rppm.BaseConfig()
+	pred, err := rppm.Predict(profile, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RPPM predicts %.0f cycles (%.3f ms) on %s\n",
+		pred.Cycles, pred.Seconds*1e3, cfg.Name)
+
+	// Compare against the cycle-level reference simulator.
+	golden, err := rppm.Simulate(bench.Build(1, 0.3), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulator measures %.0f cycles (%.3f ms)\n",
+		golden.Cycles, golden.Seconds*1e3)
+	fmt.Printf("prediction error: %+.1f%%\n",
+		100*(pred.Cycles-golden.Cycles)/golden.Cycles)
+
+	// Per-thread breakdown: active vs synchronization-idle time.
+	for t, tp := range pred.Threads {
+		fmt.Printf("  thread %d: predicted active %.0f, idle %.0f cycles (CPI %.2f)\n",
+			t, tp.ActiveCycles, tp.IdleCycles, tp.Stack.CPI())
+	}
+}

@@ -1,0 +1,156 @@
+// Package bottlegraph implements bottle graphs (Du Bois, Sartor, Eyerman,
+// Eeckhout — OOPSLA 2013), the visualization used in the paper's second
+// case study (Figure 6).
+//
+// Each thread is drawn as a box. Its height is the thread's share of total
+// program execution time: at every instant, each of the k running threads
+// accrues 1/k of the elapsed time, so the heights of all threads sum to the
+// fraction of time at least one thread runs. Its width is the thread's
+// parallelism: the average number of concurrently running threads over the
+// instants the thread itself is running. Boxes are stacked widest-first, so
+// the tallest, narrowest box — the scalability bottleneck — floats to the
+// top like the neck of a bottle.
+package bottlegraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Box is one thread's contribution.
+type Box struct {
+	Thread int
+	// Height is the thread's share of total execution time, in [0, 1].
+	Height float64
+	// Width is the thread's average parallelism (>= 1 when it ever runs).
+	Width float64
+	// Active is the thread's total active time in cycles.
+	Active float64
+}
+
+// Graph is a complete bottle graph.
+type Graph struct {
+	// Boxes are sorted widest first (bottom of the stack first).
+	Boxes []Box
+	// Total is the program execution time the heights are normalized by.
+	Total float64
+}
+
+// Build computes a bottle graph from per-thread active intervals (as
+// produced by both the simulator and RPPM's symbolic execution) and the
+// total program time.
+func Build(intervals [][][2]float64, total float64) Graph {
+	type event struct {
+		t     float64
+		tid   int
+		delta int
+	}
+	var events []event
+	for tid, ivs := range intervals {
+		for _, iv := range ivs {
+			if iv[1] <= iv[0] {
+				continue
+			}
+			events = append(events, event{iv[0], tid, +1}, event{iv[1], tid, -1})
+		}
+	}
+	n := len(intervals)
+	boxes := make([]Box, n)
+	for t := range boxes {
+		boxes[t].Thread = t
+	}
+	if len(events) == 0 || total <= 0 {
+		return Graph{Boxes: boxes, Total: total}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		// Process interval ends before starts at the same instant.
+		return events[i].delta < events[j].delta
+	})
+
+	running := make([]bool, n)
+	k := 0
+	prev := events[0].t
+	shares := make([]float64, n)   // ∫ 1/k dt while running
+	paraTime := make([]float64, n) // ∫ k dt while running
+	active := make([]float64, n)
+	for _, ev := range events {
+		if seg := ev.t - prev; seg > 0 && k > 0 {
+			for t := 0; t < n; t++ {
+				if running[t] {
+					shares[t] += seg / float64(k)
+					paraTime[t] += seg * float64(k)
+					active[t] += seg
+				}
+			}
+		}
+		prev = ev.t
+		if ev.delta > 0 {
+			if !running[ev.tid] {
+				running[ev.tid] = true
+				k++
+			}
+		} else if running[ev.tid] {
+			running[ev.tid] = false
+			k--
+		}
+	}
+	for t := 0; t < n; t++ {
+		boxes[t].Height = shares[t] / total
+		boxes[t].Active = active[t]
+		if active[t] > 0 {
+			boxes[t].Width = paraTime[t] / active[t]
+		}
+	}
+	sort.SliceStable(boxes, func(i, j int) bool { return boxes[i].Width > boxes[j].Width })
+	return Graph{Boxes: boxes, Total: total}
+}
+
+// Bottleneck returns the thread id of the tallest box — the thread with the
+// largest share of execution time (the application's scalability
+// bottleneck). Returns -1 for an empty graph.
+func (g Graph) Bottleneck() int {
+	best := -1
+	bestH := 0.0
+	for _, b := range g.Boxes {
+		if b.Height > bestH {
+			bestH = b.Height
+			best = b.Thread
+		}
+	}
+	return best
+}
+
+// TotalHeight returns the sum of box heights: the fraction of total time
+// during which at least one thread was running (<= 1).
+func (g Graph) TotalHeight() float64 {
+	s := 0.0
+	for _, b := range g.Boxes {
+		s += b.Height
+	}
+	return s
+}
+
+// AverageParallelism returns the time-weighted mean parallelism of the
+// whole execution.
+func (g Graph) AverageParallelism() float64 {
+	var num, den float64
+	for _, b := range g.Boxes {
+		num += b.Width * b.Height
+		den += b.Height
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func (g Graph) String() string {
+	s := ""
+	for _, b := range g.Boxes {
+		s += fmt.Sprintf("t%d: height %.3f width %.2f\n", b.Thread, b.Height, b.Width)
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package bottlegraph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPerfectlyBalancedFourThreads(t *testing.T) {
+	// Four threads running [0, 100) concurrently: each has height 1/4 and
+	// width 4.
+	ivs := [][][2]float64{
+		{{0, 100}}, {{0, 100}}, {{0, 100}}, {{0, 100}},
+	}
+	g := Build(ivs, 100)
+	for _, b := range g.Boxes {
+		if math.Abs(b.Height-0.25) > 1e-9 {
+			t.Fatalf("thread %d height %v, want 0.25", b.Thread, b.Height)
+		}
+		if math.Abs(b.Width-4) > 1e-9 {
+			t.Fatalf("thread %d width %v, want 4", b.Thread, b.Width)
+		}
+	}
+	if math.Abs(g.TotalHeight()-1) > 1e-9 {
+		t.Fatalf("total height %v, want 1", g.TotalHeight())
+	}
+	if math.Abs(g.AverageParallelism()-4) > 1e-9 {
+		t.Fatalf("avg parallelism %v, want 4", g.AverageParallelism())
+	}
+}
+
+func TestSequentialBottleneck(t *testing.T) {
+	// Thread 0 runs alone [0,50) then all four run [50,100): thread 0 is
+	// the bottleneck with height 0.5 + 0.125 and width (50*1+50*4)/100.
+	ivs := [][][2]float64{
+		{{0, 100}}, {{50, 100}}, {{50, 100}}, {{50, 100}},
+	}
+	g := Build(ivs, 100)
+	if g.Bottleneck() != 0 {
+		t.Fatalf("bottleneck = %d, want 0", g.Bottleneck())
+	}
+	var b0 Box
+	for _, b := range g.Boxes {
+		if b.Thread == 0 {
+			b0 = b
+		}
+	}
+	if math.Abs(b0.Height-0.625) > 1e-9 {
+		t.Fatalf("thread 0 height %v, want 0.625", b0.Height)
+	}
+	if math.Abs(b0.Width-2.5) > 1e-9 {
+		t.Fatalf("thread 0 width %v, want 2.5", b0.Width)
+	}
+	// Workers: height 50/4/100 = 0.125, width 4.
+	for _, b := range g.Boxes {
+		if b.Thread == 0 {
+			continue
+		}
+		if math.Abs(b.Height-0.125) > 1e-9 || math.Abs(b.Width-4) > 1e-9 {
+			t.Fatalf("worker box %+v", b)
+		}
+	}
+}
+
+func TestSortedWidestFirst(t *testing.T) {
+	ivs := [][][2]float64{
+		{{0, 100}}, // alone half the time
+		{{50, 100}}, {{50, 100}},
+	}
+	g := Build(ivs, 100)
+	for i := 1; i < len(g.Boxes); i++ {
+		if g.Boxes[i].Width > g.Boxes[i-1].Width+1e-9 {
+			t.Fatal("boxes not sorted widest first")
+		}
+	}
+}
+
+func TestIdleGapReducesTotalHeight(t *testing.T) {
+	// Nothing runs in [40, 60): total height < 1.
+	ivs := [][][2]float64{{{0, 40}}, {{60, 100}}}
+	g := Build(ivs, 100)
+	if math.Abs(g.TotalHeight()-0.8) > 1e-9 {
+		t.Fatalf("total height %v, want 0.8", g.TotalHeight())
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := Build(nil, 0)
+	if g.Bottleneck() != -1 {
+		t.Fatal("empty graph bottleneck should be -1")
+	}
+	g2 := Build([][][2]float64{{}, {}}, 100)
+	if g2.TotalHeight() != 0 {
+		t.Fatal("no-interval graph should have zero height")
+	}
+}
+
+func TestMultipleIntervalsPerThread(t *testing.T) {
+	// One thread with two disjoint intervals alone: height = 60/100.
+	ivs := [][][2]float64{{{0, 30}, {50, 80}}}
+	g := Build(ivs, 100)
+	if math.Abs(g.Boxes[0].Height-0.6) > 1e-9 {
+		t.Fatalf("height %v, want 0.6", g.Boxes[0].Height)
+	}
+	if math.Abs(g.Boxes[0].Width-1) > 1e-9 {
+		t.Fatalf("width %v, want 1", g.Boxes[0].Width)
+	}
+}
+
+func TestHeightsSumToCoverage(t *testing.T) {
+	// Overlapping staggered intervals; heights must sum to covered/total.
+	ivs := [][][2]float64{
+		{{0, 70}}, {{30, 100}}, {{10, 40}},
+	}
+	g := Build(ivs, 100)
+	if math.Abs(g.TotalHeight()-1.0) > 1e-9 { // [0,100) fully covered
+		t.Fatalf("total height %v, want 1", g.TotalHeight())
+	}
+}

@@ -1,0 +1,115 @@
+// Package bpred implements the tournament branch predictor used by the
+// cycle-level reference simulator: a bimodal table and a gshare table, each
+// of 2-bit saturating counters, arbitrated by a 2-bit chooser table — the
+// classic Alpha 21264-style design the paper configures as a "4 KB
+// tournament" predictor.
+//
+// The storage budget is split evenly: with 2-bit counters, a B-byte
+// predictor holds B 4-entry... precisely: B bytes = 4B counters; we give
+// each of the three tables 4B/3 rounded down to a power of two.
+package bpred
+
+import "math/bits"
+
+// Tournament is a bimodal + gshare + chooser predictor.
+type Tournament struct {
+	bimodal []uint8 // 2-bit counters, taken if >= 2
+	gshare  []uint8
+	chooser []uint8 // 2-bit: >= 2 prefers gshare
+	history uint32
+	mask    uint32
+}
+
+// New builds a tournament predictor with the given total storage budget in
+// bytes (as in arch.Config.BPredBytes).
+func New(budgetBytes int) *Tournament {
+	if budgetBytes < 3 {
+		budgetBytes = 3
+	}
+	counters := budgetBytes * 4 / 3 // 2-bit counters per table
+	size := 1 << uint(bits.Len(uint(counters))-1)
+	if size < 4 {
+		size = 4
+	}
+	t := &Tournament{
+		bimodal: make([]uint8, size),
+		gshare:  make([]uint8, size),
+		chooser: make([]uint8, size),
+		mask:    uint32(size - 1),
+	}
+	// Weakly-taken initial state avoids a cold-start bias toward not-taken.
+	for i := range t.bimodal {
+		t.bimodal[i] = 1
+		t.gshare[i] = 1
+		t.chooser[i] = 1
+	}
+	return t
+}
+
+func (t *Tournament) bimodalIndex(pc uint64) uint32 {
+	return uint32(pc>>2) & t.mask
+}
+
+func (t *Tournament) gshareIndex(pc uint64) uint32 {
+	return (uint32(pc>>2) ^ t.history) & t.mask
+}
+
+// Predict returns the predicted direction for the branch at pc without
+// updating any state.
+func (t *Tournament) Predict(pc uint64) bool {
+	b := t.bimodal[t.bimodalIndex(pc)] >= 2
+	g := t.gshare[t.gshareIndex(pc)] >= 2
+	if t.chooser[t.gshareIndex(pc)] >= 2 {
+		return g
+	}
+	return b
+}
+
+// Update trains the predictor with the actual outcome and returns whether
+// the prediction (made before the update) was correct.
+func (t *Tournament) Update(pc uint64, taken bool) bool {
+	bi := t.bimodalIndex(pc)
+	gi := t.gshareIndex(pc)
+	b := t.bimodal[bi] >= 2
+	g := t.gshare[gi] >= 2
+	useG := t.chooser[gi] >= 2
+	pred := b
+	if useG {
+		pred = g
+	}
+	correct := pred == taken
+
+	// Chooser trains toward the component that was right (when they
+	// disagree).
+	if b != g {
+		if g == taken {
+			bump(&t.chooser[gi], true)
+		} else {
+			bump(&t.chooser[gi], false)
+		}
+	}
+	bump(&t.bimodal[bi], taken)
+	bump(&t.gshare[gi], taken)
+	t.history = (t.history << 1) | boolBit(taken)
+	return correct
+}
+
+func bump(c *uint8, up bool) {
+	if up {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Tables returns the per-table entry count, for diagnostics.
+func (t *Tournament) Tables() int { return len(t.bimodal) }

@@ -1,0 +1,125 @@
+package bpred
+
+import (
+	"testing"
+
+	"rppm/internal/prng"
+)
+
+func run(t *Tournament, pcs []uint64, outcomes []bool) float64 {
+	miss := 0
+	for i, pc := range pcs {
+		if !t.Update(pc, outcomes[i]) {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(pcs))
+}
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(4 << 10)
+	n := 10000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = 0x400000
+		outs[i] = true
+	}
+	if mr := run(p, pcs, outs); mr > 0.01 {
+		t.Fatalf("always-taken branch missrate %v", mr)
+	}
+}
+
+func TestStronglyBiasedBranch(t *testing.T) {
+	p := New(4 << 10)
+	r := prng.New(1)
+	n := 50000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = 0x400040
+		outs[i] = r.Bool(0.95)
+	}
+	mr := run(p, pcs, outs)
+	// An ideal predictor achieves ~5%; allow training overhead.
+	if mr < 0.03 || mr > 0.12 {
+		t.Fatalf("95%%-biased branch missrate %v, want ~0.05-0.1", mr)
+	}
+}
+
+func TestRandomBranchNearHalf(t *testing.T) {
+	p := New(4 << 10)
+	r := prng.New(2)
+	n := 50000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = 0x400080
+		outs[i] = r.Bool(0.5)
+	}
+	mr := run(p, pcs, outs)
+	if mr < 0.4 || mr > 0.6 {
+		t.Fatalf("random branch missrate %v, want ~0.5", mr)
+	}
+}
+
+func TestPeriodicPatternLearnedByGshare(t *testing.T) {
+	// Pattern TTNTTN... is perfectly predictable with history.
+	p := New(4 << 10)
+	n := 30000
+	miss := 0
+	for i := 0; i < n; i++ {
+		taken := i%3 != 2
+		if !p.Update(0x4000C0, taken) {
+			miss++
+		}
+	}
+	mr := float64(miss) / float64(n)
+	if mr > 0.05 {
+		t.Fatalf("periodic pattern missrate %v, want ~0", mr)
+	}
+}
+
+func TestAliasingWithTinyPredictor(t *testing.T) {
+	// Many conflicting branches in a tiny predictor should mispredict more
+	// than in a big one.
+	r := prng.New(3)
+	n := 60000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		site := uint64(r.Intn(512))
+		pcs[i] = 0x400000 + site*4
+		outs[i] = site%3 == 0 // each site perfectly biased, decorrelated from table indexing
+	}
+	small := run(New(16), pcs, outs)
+	big := run(New(64<<10), pcs, outs)
+	if small <= big {
+		t.Fatalf("tiny predictor (%v) not worse than big (%v)", small, big)
+	}
+	if big > 0.05 {
+		t.Fatalf("big predictor missrate %v for perfectly biased sites", big)
+	}
+}
+
+func TestPredictMatchesUpdatePath(t *testing.T) {
+	p := New(1 << 10)
+	r := prng.New(4)
+	for i := 0; i < 5000; i++ {
+		pc := 0x400000 + uint64(r.Intn(64))*4
+		pred := p.Predict(pc)
+		taken := r.Bool(0.7)
+		correct := p.Update(pc, taken)
+		if correct != (pred == taken) {
+			t.Fatal("Predict and Update disagree on the prediction")
+		}
+	}
+}
+
+func TestTinyBudgetDoesNotCrash(t *testing.T) {
+	p := New(0)
+	if p.Tables() < 4 {
+		t.Fatalf("tables = %d", p.Tables())
+	}
+	p.Update(0x1000, true)
+}

@@ -1,0 +1,167 @@
+// Package branchmodel predicts branch misprediction rates from a
+// microarchitecture-independent branch profile, following the
+// linear-branch-entropy approach of De Pestel et al. (ISPASS 2015) cited by
+// the RPPM paper.
+//
+// The profile records, per static branch site, the number of executions and
+// the taken probability. The microarchitecture-independent characteristic is
+// the per-site *linear entropy*
+//
+//	E_lin(p) = 2·p·(1−p),
+//
+// which is 0 for perfectly biased branches and 1 for 50/50 branches, and
+// from which the bias min(p, 1−p) is recovered exactly via
+// min(p,1−p) = (1 − sqrt(1 − 2·E_lin))/2.
+//
+// For outcomes without exploitable history correlation (the case our
+// generators produce), a trained 2-bit saturating counter reaches the
+// steady-state miss rate of its birth-death Markov chain,
+//
+//	m₂(p) = (p + q·r²) / (1 + r²),  r = p/q,  q = 1−p,
+//
+// which is the per-site floor of the tournament predictor: neither the
+// gshare component nor the chooser can beat it on history-free outcomes.
+// The predictor-size dependence enters as an aliasing term: with S counters
+// per table and B live branch sites, a lookup collides with another site
+// with probability c = 1−(1−1/S)^(B−1); a destructive collision pushes the
+// miss rate toward 1/2. The model is
+//
+//	m = Σ_site w_site · [ m₂(p_site) + (1/2 − m₂(p_site)) · α·c ],
+//
+// with α a fixed constant calibrated once against the simulator's
+// tournament predictor (a property of the predictor family, not of any
+// workload — analogous to the one-time calibration in [10]).
+package branchmodel
+
+import "math"
+
+// SiteStats is the profile of one static branch site.
+type SiteStats struct {
+	Count  uint64  // dynamic executions
+	TakenP float64 // fraction taken
+}
+
+// Profile is the branch profile of one epoch or one thread: per-site stats.
+type Profile struct {
+	Sites map[uint16]*SiteStats
+}
+
+// NewProfile returns an empty branch profile.
+func NewProfile() *Profile {
+	return &Profile{Sites: make(map[uint16]*SiteStats)}
+}
+
+// Record adds one dynamic branch execution to the profile.
+func (p *Profile) Record(site uint16, taken bool) {
+	s := p.Sites[site]
+	if s == nil {
+		s = &SiteStats{}
+		p.Sites[site] = s
+	}
+	// Incremental mean of the taken indicator.
+	t := 0.0
+	if taken {
+		t = 1.0
+	}
+	s.TakenP += (t - s.TakenP) / float64(s.Count+1)
+	s.Count++
+}
+
+// Merge folds other into p (weighted by execution counts).
+func (p *Profile) Merge(other *Profile) {
+	if other == nil {
+		return
+	}
+	for id, os := range other.Sites {
+		s := p.Sites[id]
+		if s == nil {
+			p.Sites[id] = &SiteStats{Count: os.Count, TakenP: os.TakenP}
+			continue
+		}
+		total := s.Count + os.Count
+		s.TakenP = (s.TakenP*float64(s.Count) + os.TakenP*float64(os.Count)) / float64(total)
+		s.Count = total
+	}
+}
+
+// Branches returns the total dynamic branch count in the profile.
+func (p *Profile) Branches() uint64 {
+	var n uint64
+	for _, s := range p.Sites {
+		n += s.Count
+	}
+	return n
+}
+
+// LinearEntropy returns the execution-weighted mean linear entropy of the
+// profile, in [0, 1].
+func (p *Profile) LinearEntropy() float64 {
+	var total, acc float64
+	for _, s := range p.Sites {
+		w := float64(s.Count)
+		acc += w * 2 * s.TakenP * (1 - s.TakenP)
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	return acc / total
+}
+
+// Aliasing calibration constants for the tournament predictor family (see
+// package comment). Calibrated once against internal/bpred; they are
+// workload-independent.
+const (
+	aliasAlpha = 0.35
+	// countersPerByte: 2-bit counters, three tables split the budget, so a
+	// B-byte predictor has ~B·4/3 entries per table (internal/bpred rounds
+	// down to a power of two; the model uses the smooth value).
+	countersPerByte = 4.0 / 3.0
+)
+
+// counterMissRate returns the steady-state miss rate of a 2-bit saturating
+// counter trained on i.i.d. Bernoulli(p) outcomes.
+func counterMissRate(p float64) float64 {
+	q := 1 - p
+	switch {
+	case q <= 0, p <= 0:
+		return 0
+	}
+	r := p / q
+	r2 := r * r
+	return (p + q*r2) / (1 + r2)
+}
+
+// MissRate predicts the misprediction rate for a predictor with the given
+// storage budget in bytes.
+func (p *Profile) MissRate(predictorBytes int) float64 {
+	entries := float64(predictorBytes) * countersPerByte
+	if entries < 4 {
+		entries = 4
+	}
+	liveSites := float64(len(p.Sites))
+	collision := 0.0
+	if liveSites > 1 {
+		collision = 1 - math.Pow(1-1/entries, liveSites-1)
+	}
+	pressure := aliasAlpha * collision
+
+	var total, acc float64
+	for _, s := range p.Sites {
+		w := float64(s.Count)
+		floor := counterMissRate(s.TakenP)
+		m := floor + (0.5-floor)*pressure
+		acc += w * m
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	return acc / total
+}
+
+// Mispredicts predicts the absolute number of mispredictions in the profiled
+// region for the given predictor budget.
+func (p *Profile) Mispredicts(predictorBytes int) float64 {
+	return p.MissRate(predictorBytes) * float64(p.Branches())
+}

@@ -1,0 +1,148 @@
+package branchmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rppm/internal/bpred"
+	"rppm/internal/prng"
+)
+
+func TestRecordComputesTakenP(t *testing.T) {
+	p := NewProfile()
+	for i := 0; i < 100; i++ {
+		p.Record(1, i%4 != 0) // 75% taken
+	}
+	s := p.Sites[1]
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.TakenP-0.75) > 1e-9 {
+		t.Fatalf("takenP = %v, want 0.75", s.TakenP)
+	}
+}
+
+func TestLinearEntropyExtremes(t *testing.T) {
+	p := NewProfile()
+	for i := 0; i < 1000; i++ {
+		p.Record(1, true) // perfectly biased
+	}
+	if e := p.LinearEntropy(); e > 1e-9 {
+		t.Fatalf("biased entropy = %v, want 0", e)
+	}
+	q := NewProfile()
+	for i := 0; i < 1000; i++ {
+		q.Record(1, i%2 == 0) // 50/50
+	}
+	if e := q.LinearEntropy(); math.Abs(e-0.5) > 1e-3 {
+		t.Fatalf("50/50 entropy = %v, want 0.5", e)
+	}
+}
+
+func TestMissRateBounds(t *testing.T) {
+	f := func(takenPct uint8, sites uint8, kb uint8) bool {
+		p := NewProfile()
+		tp := float64(takenPct%101) / 100
+		n := int(sites)%64 + 1
+		for s := 0; s < n; s++ {
+			st := &SiteStats{Count: 1000, TakenP: tp}
+			p.Sites[uint16(s)] = st
+		}
+		m := p.MissRate(int(kb)*256 + 16)
+		return m >= 0 && m <= 0.5+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissRateMonotoneInPredictorSize(t *testing.T) {
+	p := NewProfile()
+	r := prng.New(1)
+	for s := 0; s < 200; s++ {
+		p.Sites[uint16(s)] = &SiteStats{Count: 500, TakenP: r.Range(0.7, 1.0)}
+	}
+	prev := 1.0
+	for bytes := 64; bytes <= 1<<20; bytes *= 4 {
+		m := p.MissRate(bytes)
+		if m > prev+1e-12 {
+			t.Fatalf("miss rate increased with predictor size at %d bytes", bytes)
+		}
+		prev = m
+	}
+}
+
+func TestBiasedLowerThanRandom(t *testing.T) {
+	biased := NewProfile()
+	random := NewProfile()
+	for s := 0; s < 16; s++ {
+		biased.Sites[uint16(s)] = &SiteStats{Count: 1000, TakenP: 0.97}
+		random.Sites[uint16(s)] = &SiteStats{Count: 1000, TakenP: 0.5}
+	}
+	if biased.MissRate(4<<10) >= random.MissRate(4<<10) {
+		t.Fatal("biased profile should mispredict less than random profile")
+	}
+	if m := random.MissRate(4 << 10); m < 0.4 {
+		t.Fatalf("random profile miss rate %v, want ~0.5", m)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewProfile()
+	b := NewProfile()
+	for i := 0; i < 100; i++ {
+		a.Record(1, true)
+		b.Record(1, false)
+		b.Record(2, true)
+	}
+	a.Merge(b)
+	if a.Branches() != 300 {
+		t.Fatalf("merged branches = %d", a.Branches())
+	}
+	if math.Abs(a.Sites[1].TakenP-0.5) > 1e-9 {
+		t.Fatalf("merged takenP = %v, want 0.5", a.Sites[1].TakenP)
+	}
+	a.Merge(nil) // must not panic
+}
+
+// TestModelTracksSimulatedPredictor is the calibration check: the analytical
+// model must track the real tournament predictor within a few percentage
+// points across bias levels and table pressures.
+func TestModelTracksSimulatedPredictor(t *testing.T) {
+	r := prng.New(7)
+	cases := []struct {
+		sites int
+		bias  float64
+	}{
+		{8, 0.98}, {8, 0.9}, {8, 0.7}, {8, 0.5},
+		{64, 0.95}, {256, 0.95}, {256, 0.8},
+	}
+	for _, tc := range cases {
+		prof := NewProfile()
+		sim := bpred.New(4 << 10)
+		n := 200000
+		miss := 0
+		for i := 0; i < n; i++ {
+			site := uint16(r.Intn(tc.sites))
+			taken := r.Bool(tc.bias)
+			prof.Record(site, taken)
+			if !sim.Update(0x400000+uint64(site)*4, taken) {
+				miss++
+			}
+		}
+		simRate := float64(miss) / float64(n)
+		modelRate := prof.MissRate(4 << 10)
+		if math.Abs(simRate-modelRate) > 0.06 {
+			t.Errorf("sites=%d bias=%.2f: sim %.4f vs model %.4f",
+				tc.sites, tc.bias, simRate, modelRate)
+		}
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := NewProfile()
+	if p.MissRate(4<<10) != 0 || p.Branches() != 0 || p.LinearEntropy() != 0 {
+		t.Fatal("empty profile should be all zeros")
+	}
+}

@@ -1,0 +1,264 @@
+// Package cache implements the memory hierarchy of the cycle-level
+// reference simulator: set-associative LRU caches, a private L1I/L1D/L2
+// per core, a shared last-level cache, and MESI-style write-invalidation
+// coherence tracked by a directory.
+//
+// This is the detailed counterpart of the analytical StatStack model: where
+// internal/statstack predicts miss rates statistically from reuse-distance
+// distributions, this package actually moves lines in and out of finite
+// sets, so simulator-vs-model discrepancies reflect genuine modeling error
+// (associativity conflicts, real interleaving, real invalidations).
+package cache
+
+import (
+	"math/bits"
+
+	"rppm/internal/arch"
+)
+
+// Cache is one set-associative LRU cache level.
+type Cache struct {
+	ways     int
+	setShift uint
+	setMask  uint64
+	// sets[s] holds the tags of set s ordered most- to least-recently used.
+	sets  [][]uint64
+	valid [][]bool
+
+	hits, misses uint64
+}
+
+// New builds a cache from a level configuration. Addresses are indexed at
+// line granularity: callers pass line addresses (byte address >> log2(line)).
+func New(cfg arch.CacheConfig) *Cache {
+	sets := cfg.Sets()
+	c := &Cache{
+		ways:     cfg.Assoc,
+		setShift: 0,
+		setMask:  uint64(sets - 1),
+	}
+	if sets&(sets-1) != 0 {
+		// Round down to a power of two; configs produced by internal/arch
+		// are always powers of two, this is belt-and-braces for tests.
+		p := 1 << uint(bits.Len(uint(sets))-1)
+		c.setMask = uint64(p - 1)
+		sets = p
+	}
+	c.sets = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, cfg.Assoc)
+		c.valid[i] = make([]bool, cfg.Assoc)
+	}
+	return c
+}
+
+func (c *Cache) setOf(lineAddr uint64) int { return int(lineAddr & c.setMask) }
+
+// Access looks up a line address, updates LRU state and inserts the line on
+// a miss (evicting the LRU way). It returns whether the access hit and, on
+// miss, the evicted line address (victim) and whether a valid line was
+// evicted.
+func (c *Cache) Access(lineAddr uint64) (hit bool, victim uint64, evicted bool) {
+	s := c.setOf(lineAddr)
+	set := c.sets[s]
+	val := c.valid[s]
+	for i := 0; i < c.ways; i++ {
+		if val[i] && set[i] == lineAddr {
+			// Move to MRU position.
+			copy(set[1:i+1], set[:i])
+			copy(val[1:i+1], val[:i])
+			set[0] = lineAddr
+			val[0] = true
+			c.hits++
+			return true, 0, false
+		}
+	}
+	c.misses++
+	last := c.ways - 1
+	victim, evicted = set[last], val[last]
+	copy(set[1:], set[:last])
+	copy(val[1:], val[:last])
+	set[0] = lineAddr
+	val[0] = true
+	return false, victim, evicted
+}
+
+// Contains reports whether the line is present without touching LRU state.
+func (c *Cache) Contains(lineAddr uint64) bool {
+	s := c.setOf(lineAddr)
+	for i := 0; i < c.ways; i++ {
+		if c.valid[s][i] && c.sets[s][i] == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line if present and reports whether it was present.
+func (c *Cache) Invalidate(lineAddr uint64) bool {
+	s := c.setOf(lineAddr)
+	for i := 0; i < c.ways; i++ {
+		if c.valid[s][i] && c.sets[s][i] == lineAddr {
+			c.valid[s][i] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the hit and miss counts since creation.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Level identifies where in the hierarchy an access was served.
+type Level int
+
+// Hierarchy levels, ordered by distance from the core.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelLLC
+	LevelRemote // dirty line transferred from another core's private cache
+	LevelMem
+	NumLevels = int(LevelMem) + 1
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelRemote:
+		return "remote"
+	case LevelMem:
+		return "mem"
+	}
+	return "?"
+}
+
+// Hierarchy is the full multicore memory system.
+type Hierarchy struct {
+	cfg       arch.Config
+	lineShift uint
+
+	l1i, l1d, l2 []*Cache
+	llc          *Cache
+
+	// Directory state, line-granular: which cores hold a copy, and which
+	// core (if any) holds it modified.
+	sharers map[uint64]uint32
+	owner   map[uint64]int32 // core id holding the line dirty, -1 if clean
+
+	// Counters per core and level, for CPI-stack accounting and MPKI.
+	served       [][]uint64 // [core][level]
+	invalidation []uint64   // invalidations received per core
+}
+
+// remoteTransferPenalty is the extra latency (beyond an LLC hit) of pulling
+// a modified line out of another core's private cache.
+const remoteTransferPenalty = 18
+
+// NewHierarchy builds the hierarchy for a validated configuration.
+func NewHierarchy(cfg arch.Config) *Hierarchy {
+	h := &Hierarchy{
+		cfg:          cfg,
+		lineShift:    uint(bits.Len(uint(cfg.L1D.LineBytes)) - 1),
+		llc:          New(cfg.LLC),
+		sharers:      make(map[uint64]uint32),
+		owner:        make(map[uint64]int32),
+		served:       make([][]uint64, cfg.Cores),
+		invalidation: make([]uint64, cfg.Cores),
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		h.l1i = append(h.l1i, New(cfg.L1I))
+		h.l1d = append(h.l1d, New(cfg.L1D))
+		h.l2 = append(h.l2, New(cfg.L2))
+		h.served[c] = make([]uint64, NumLevels)
+	}
+	return h
+}
+
+// Line returns the line address of a byte address.
+func (h *Hierarchy) Line(addr uint64) uint64 { return addr >> h.lineShift }
+
+// AccessData performs a data access by core at byte address addr and returns
+// the load-to-use latency in cycles and the level that served it.
+func (h *Hierarchy) AccessData(core int, addr uint64, write bool) (latency int, level Level) {
+	line := h.Line(addr)
+
+	// Coherence: a write invalidates every other core's private copies; a
+	// read of a line that is dirty in another private cache triggers a
+	// remote transfer (and downgrades the owner's copy to shared).
+	remote := false
+	if ow, ok := h.owner[line]; ok && ow >= 0 && int(ow) != core {
+		remote = true
+		delete(h.owner, line)
+	}
+	if write {
+		mask := h.sharers[line]
+		for c := 0; c < h.cfg.Cores; c++ {
+			if c == core || mask&(1<<uint(c)) == 0 {
+				continue
+			}
+			inv := h.l1d[c].Invalidate(line)
+			if h.l2[c].Invalidate(line) || inv {
+				h.invalidation[c]++
+			}
+		}
+		h.sharers[line] = 1 << uint(core)
+		h.owner[line] = int32(core)
+	} else {
+		h.sharers[line] |= 1 << uint(core)
+	}
+
+	hitL1, _, _ := h.l1d[core].Access(line)
+	if hitL1 && !remote {
+		h.served[core][LevelL1]++
+		return h.cfg.L1D.HitLatency, LevelL1
+	}
+	hitL2, _, _ := h.l2[core].Access(line)
+	if hitL2 && !remote {
+		h.served[core][LevelL2]++
+		return h.cfg.L2.HitLatency, LevelL2
+	}
+	hitLLC, _, _ := h.llc.Access(line)
+	if remote {
+		h.served[core][LevelRemote]++
+		return h.cfg.LLC.HitLatency + remoteTransferPenalty, LevelRemote
+	}
+	if hitLLC {
+		h.served[core][LevelLLC]++
+		return h.cfg.LLC.HitLatency, LevelLLC
+	}
+	h.served[core][LevelMem]++
+	return h.cfg.MemLatency, LevelMem
+}
+
+// AccessInstr performs an instruction fetch by core at byte address pc.
+func (h *Hierarchy) AccessInstr(core int, pc uint64) (latency int, level Level) {
+	line := h.Line(pc)
+	if hit, _, _ := h.l1i[core].Access(line); hit {
+		return 0, LevelL1 // overlapped with decode; no added latency
+	}
+	if hit, _, _ := h.l2[core].Access(line); hit {
+		return h.cfg.L2.HitLatency, LevelL2
+	}
+	if hit, _, _ := h.llc.Access(line); hit {
+		return h.cfg.LLC.HitLatency, LevelLLC
+	}
+	return h.cfg.MemLatency, LevelMem
+}
+
+// Served returns per-level access counts for a core.
+func (h *Hierarchy) Served(core int) []uint64 {
+	out := make([]uint64, NumLevels)
+	copy(out, h.served[core])
+	return out
+}
+
+// Invalidations returns the number of coherence invalidations received by a
+// core's private caches.
+func (h *Hierarchy) Invalidations(core int) uint64 { return h.invalidation[core] }

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rppm/internal/arch"
+	"rppm/internal/core"
+	"rppm/internal/interval"
+	"rppm/internal/profiler"
+	"rppm/internal/textplot"
+	"rppm/internal/workload"
+)
+
+// AblationRow reports a benchmark's RPPM error with the full model and with
+// one mechanism removed.
+type AblationRow struct {
+	Name    string
+	Full    float64 // absolute relative error, full model
+	Ablated float64 // absolute relative error, mechanism removed
+}
+
+// AblationResult quantifies what one model mechanism buys (DESIGN.md §5).
+type AblationResult struct {
+	Mechanism string
+	Rows      []AblationRow
+}
+
+// Averages returns the mean absolute errors (full, ablated).
+func (r *AblationResult) Averages() (full, ablated float64) {
+	if len(r.Rows) == 0 {
+		return
+	}
+	for _, row := range r.Rows {
+		full += row.Full
+		ablated += row.Ablated
+	}
+	n := float64(len(r.Rows))
+	return full / n, ablated / n
+}
+
+func (r *AblationResult) String() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Name,
+			fmt.Sprintf("%.1f%%", row.Full*100),
+			fmt.Sprintf("%.1f%%", row.Ablated*100)})
+	}
+	f, a := r.Averages()
+	rows = append(rows, []string{"average",
+		fmt.Sprintf("%.1f%%", f*100), fmt.Sprintf("%.1f%%", a*100)})
+	return fmt.Sprintf("Ablation: %s\n", r.Mechanism) +
+		textplot.Table([]string{"Benchmark", "full model", "ablated"}, rows)
+}
+
+// ablationBenchmarks are the sharing/coherence/memory-sensitive subset used
+// for the ablation studies.
+var ablationBenchmarks = []string{
+	"kmeans", "bfs", "nw", "streamcluster", "backprop", "nn",
+	"canneal", "fluidanimate", "raytrace",
+}
+
+// runAblation evaluates RPPM error with and without a model variation.
+func runAblation(cfg Config, mechanism string,
+	profOpts func() profiler.Options,
+	modelOpts interval.ModelOptions) (*AblationResult, error) {
+	cfg = cfg.withDefaults()
+	target := arch.Base()
+	res := &AblationResult{Mechanism: mechanism}
+	for _, name := range ablationBenchmarks {
+		bm, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		run, err := runBench(bm, cfg, target)
+		if err != nil {
+			return nil, err
+		}
+		full, err := core.Predict(run.Profile, target)
+		if err != nil {
+			return nil, err
+		}
+		ablProf := run.Profile
+		if profOpts != nil {
+			ablProf, err = profiler.Run(bm.Build(cfg.Seed, cfg.Scale), profOpts())
+			if err != nil {
+				return nil, err
+			}
+		}
+		abl, err := core.PredictOpts(ablProf, target, modelOpts)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Name:    name,
+			Full:    math.Abs(signedError(full.Cycles, run.Sim.Cycles)),
+			Ablated: math.Abs(signedError(abl.Cycles, run.Sim.Cycles)),
+		})
+	}
+	return res, nil
+}
+
+// AblationGlobalRD removes the multithreaded StatStack extension: the
+// shared LLC is predicted from per-thread reuse distances, losing both
+// positive and negative inter-thread interference.
+func AblationGlobalRD(cfg Config) (*AblationResult, error) {
+	return runAblation(cfg, "global reuse distances for the shared LLC",
+		nil, interval.ModelOptions{LLCFromPrivateRD: true})
+}
+
+// AblationMLP removes the memory-level-parallelism divisor.
+func AblationMLP(cfg Config) (*AblationResult, error) {
+	return runAblation(cfg, "memory-level parallelism divisor",
+		nil, interval.ModelOptions{NoMLP: true})
+}
+
+// AblationCoherence profiles without write-invalidation detection, removing
+// coherence misses from the private reuse-distance distributions.
+func AblationCoherence(cfg Config) (*AblationResult, error) {
+	return runAblation(cfg, "coherence write-invalidation detection",
+		func() profiler.Options { return profiler.Options{NoCoherence: true} },
+		interval.ModelOptions{})
+}

@@ -1,0 +1,121 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables I–V, Figures 4–6) plus the ablation studies listed in
+// DESIGN.md. Each experiment is a function returning a typed result with a
+// String() rendering; the CLI (cmd/rppm-experiments) and the root benchmark
+// suite (bench_test.go) both drive these functions, so printed reports and
+// testing.B measurements come from the same code.
+package experiments
+
+import (
+	"fmt"
+
+	"rppm/internal/arch"
+	"rppm/internal/core"
+	"rppm/internal/profiler"
+	"rppm/internal/sim"
+	"rppm/internal/workload"
+)
+
+// Config controls experiment fidelity.
+type Config struct {
+	// Scale multiplies workload sizes; 1.0 is the full configured size.
+	Scale float64
+	// Seed drives workload generation.
+	Seed uint64
+}
+
+// DefaultConfig runs the experiments at a fidelity that completes the whole
+// evaluation in tens of seconds.
+func DefaultConfig() Config { return Config{Scale: 0.3, Seed: 1} }
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// BenchRun bundles everything the figure experiments need for one
+// benchmark: the microarchitecture-independent profile (collected once) and
+// the golden-reference simulation on the base configuration.
+type BenchRun struct {
+	Bench   workload.Benchmark
+	Profile *profiler.Profile
+	Sim     *sim.Result
+}
+
+// runBench profiles and simulates one benchmark on the base configuration.
+func runBench(bm workload.Benchmark, cfg Config, target arch.Config) (*BenchRun, error) {
+	prof, err := profiler.Run(bm.Build(cfg.Seed, cfg.Scale), profiler.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("profile %s: %w", bm.Name, err)
+	}
+	simRes, err := sim.Run(bm.Build(cfg.Seed, cfg.Scale), target)
+	if err != nil {
+		return nil, fmt.Errorf("simulate %s: %w", bm.Name, err)
+	}
+	return &BenchRun{Bench: bm, Profile: prof, Sim: simRes}, nil
+}
+
+// predictAll returns the MAIN, CRIT and RPPM predictions (in cycles) for a
+// profiled benchmark on the target configuration.
+func predictAll(prof *profiler.Profile, target arch.Config) (mainC, critC, rppmC float64, err error) {
+	mainC, err = core.PredictMain(prof, target)
+	if err != nil {
+		return
+	}
+	critC, err = core.PredictCrit(prof, target)
+	if err != nil {
+		return
+	}
+	pred, err2 := core.Predict(prof, target)
+	if err2 != nil {
+		err = err2
+		return
+	}
+	rppmC = pred.Cycles
+	return
+}
+
+// signedError returns (predicted-actual)/actual.
+func signedError(predicted, actual float64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return (predicted - actual) / actual
+}
+
+// profilerProfile aliases the profile type for the table helpers.
+type profilerProfile = profiler.Profile
+
+// profileBench collects a benchmark's microarchitecture-independent profile.
+func profileBench(bm workload.Benchmark, cfg Config) (*profiler.Profile, error) {
+	prof, err := profiler.Run(bm.Build(cfg.Seed, cfg.Scale), profiler.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("profile %s: %w", bm.Name, err)
+	}
+	return prof, nil
+}
+
+// corePredict returns RPPM's predicted execution time in seconds (the DSE
+// case study compares design points at different clock frequencies, so
+// cycles are not comparable).
+func corePredict(prof *profiler.Profile, target arch.Config) (float64, error) {
+	pred, err := core.Predict(prof, target)
+	if err != nil {
+		return 0, err
+	}
+	return pred.Seconds, nil
+}
+
+// simRun returns the simulated execution time in seconds.
+func simRun(bm workload.Benchmark, cfg Config, target arch.Config) (float64, error) {
+	res, err := sim.Run(bm.Build(cfg.Seed, cfg.Scale), target)
+	if err != nil {
+		return 0, err
+	}
+	return res.Seconds, nil
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rppm/internal/arch"
+	"rppm/internal/bottlegraph"
+	"rppm/internal/core"
+	"rppm/internal/interval"
+	"rppm/internal/textplot"
+	"rppm/internal/workload"
+)
+
+// Figure4Row is one benchmark's prediction errors against simulation.
+type Figure4Row struct {
+	Name  string
+	Kind  workload.SuiteKind
+	MAIN  float64 // signed relative error of the MAIN baseline
+	CRIT  float64
+	RPPM  float64
+	SimCy float64 // simulated cycles (reference)
+}
+
+// Figure4Result compares MAIN, CRIT and RPPM against cycle-level
+// simulation on the base configuration for the whole suite.
+type Figure4Result struct {
+	Rows []Figure4Row
+}
+
+// Figure4 reproduces Figure 4.
+func Figure4(cfg Config) (*Figure4Result, error) {
+	cfg = cfg.withDefaults()
+	target := arch.Base()
+	res := &Figure4Result{}
+	for _, bm := range workload.Suite() {
+		run, err := runBench(bm, cfg, target)
+		if err != nil {
+			return nil, err
+		}
+		mainC, critC, rppmC, err := predictAll(run.Profile, target)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bm.Name, err)
+		}
+		res.Rows = append(res.Rows, Figure4Row{
+			Name:  bm.Name,
+			Kind:  bm.Kind,
+			MAIN:  signedError(mainC, run.Sim.Cycles),
+			CRIT:  signedError(critC, run.Sim.Cycles),
+			RPPM:  signedError(rppmC, run.Sim.Cycles),
+			SimCy: run.Sim.Cycles,
+		})
+	}
+	return res, nil
+}
+
+// Averages returns the mean absolute errors (MAIN, CRIT, RPPM).
+func (r *Figure4Result) Averages() (mainAvg, critAvg, rppmAvg float64) {
+	if len(r.Rows) == 0 {
+		return
+	}
+	for _, row := range r.Rows {
+		mainAvg += math.Abs(row.MAIN)
+		critAvg += math.Abs(row.CRIT)
+		rppmAvg += math.Abs(row.RPPM)
+	}
+	n := float64(len(r.Rows))
+	return mainAvg / n, critAvg / n, rppmAvg / n
+}
+
+// MaxRPPM returns the maximum absolute RPPM error.
+func (r *Figure4Result) MaxRPPM() float64 {
+	m := 0.0
+	for _, row := range r.Rows {
+		if a := math.Abs(row.RPPM); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func (r *Figure4Result) String() string {
+	var labels []string
+	var values [][]float64
+	for _, row := range r.Rows {
+		labels = append(labels, row.Name)
+		values = append(values, []float64{
+			math.Abs(row.MAIN) * 100, math.Abs(row.CRIT) * 100, math.Abs(row.RPPM) * 100})
+	}
+	mainAvg, critAvg, rppmAvg := r.Averages()
+	labels = append(labels, "AVERAGE")
+	values = append(values, []float64{mainAvg * 100, critAvg * 100, rppmAvg * 100})
+	var b strings.Builder
+	b.WriteString("Figure 4: prediction error vs cycle-level simulation (absolute %)\n")
+	b.WriteString(textplot.GroupedBars(labels, []string{"MAIN", "CRIT", "RPPM"}, values, 50, "%.1f%%"))
+	fmt.Fprintf(&b, "\nRPPM average %.1f%% (max %.1f%%); CRIT %.1f%%; MAIN %.1f%%\n",
+		rppmAvg*100, r.MaxRPPM()*100, critAvg*100, mainAvg*100)
+	return b.String()
+}
+
+// Figure5Row holds a benchmark's average per-thread CPI stacks for the
+// model and the simulator.
+type Figure5Row struct {
+	Name  string
+	Model interval.Stack // mean per-thread stack predicted by RPPM
+	Sim   interval.Stack // mean per-thread stack measured in simulation
+}
+
+// Figure5Result compares CPI stacks (Figure 5).
+type Figure5Result struct {
+	Rows []Figure5Row
+}
+
+// meanStack averages a set of per-thread stacks component-wise.
+func meanStack(stacks []interval.Stack) interval.Stack {
+	var sum interval.Stack
+	for _, s := range stacks {
+		sum.Add(s)
+	}
+	n := float64(len(stacks))
+	if n == 0 {
+		return sum
+	}
+	return interval.Stack{
+		Instr:   sum.Instr / uint64(len(stacks)),
+		Base:    sum.Base / n,
+		Branch:  sum.Branch / n,
+		ICache:  sum.ICache / n,
+		MemL2:   sum.MemL2 / n,
+		MemLLC:  sum.MemLLC / n,
+		MemDRAM: sum.MemDRAM / n,
+		Sync:    sum.Sync / n,
+	}
+}
+
+// Figure5 reproduces Figure 5: per-thread CPI stacks by RPPM and by
+// simulation, averaged across threads.
+func Figure5(cfg Config) (*Figure5Result, error) {
+	cfg = cfg.withDefaults()
+	target := arch.Base()
+	res := &Figure5Result{}
+	for _, bm := range workload.Suite() {
+		run, err := runBench(bm, cfg, target)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := core.Predict(run.Profile, target)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bm.Name, err)
+		}
+		var modelStacks, simStacks []interval.Stack
+		for t := range pred.Threads {
+			modelStacks = append(modelStacks, pred.Threads[t].Stack)
+			simStacks = append(simStacks, run.Sim.Threads[t].Stack)
+		}
+		res.Rows = append(res.Rows, Figure5Row{
+			Name:  bm.Name,
+			Model: meanStack(modelStacks),
+			Sim:   meanStack(simStacks),
+		})
+	}
+	return res, nil
+}
+
+func (r *Figure5Result) String() string {
+	var labels []string
+	var model, ref []interval.Stack
+	for _, row := range r.Rows {
+		labels = append(labels, row.Name)
+		model = append(model, row.Model)
+		ref = append(ref, row.Sim)
+	}
+	return "Figure 5: CPI stacks, RPPM (model) vs simulation, normalized to simulation\n" +
+		textplot.StackPairs(labels, model, ref, 60)
+}
+
+// Figure6Row pairs the predicted and simulated bottle graphs of one Parsec
+// benchmark.
+type Figure6Row struct {
+	Name  string
+	Model bottlegraph.Graph
+	Sim   bottlegraph.Graph
+}
+
+// Figure6Result holds the bottlegraph case study.
+type Figure6Result struct {
+	Rows []Figure6Row
+}
+
+// Figure6 reproduces Figure 6: bottle graphs for the Parsec benchmarks,
+// predicted by RPPM (left) and measured by simulation (right).
+func Figure6(cfg Config) (*Figure6Result, error) {
+	cfg = cfg.withDefaults()
+	target := arch.Base()
+	res := &Figure6Result{}
+	for _, bm := range workload.Suite() {
+		if bm.Kind != workload.Parsec {
+			continue
+		}
+		run, err := runBench(bm, cfg, target)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := core.Predict(run.Profile, target)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bm.Name, err)
+		}
+		var predIvs, simIvs [][][2]float64
+		for t := range pred.Threads {
+			predIvs = append(predIvs, pred.Threads[t].ActiveIntervals)
+			simIvs = append(simIvs, run.Sim.Threads[t].ActiveIntervals)
+		}
+		res.Rows = append(res.Rows, Figure6Row{
+			Name:  bm.Name,
+			Model: bottlegraph.Build(predIvs, pred.Cycles),
+			Sim:   bottlegraph.Build(simIvs, run.Sim.Cycles),
+		})
+	}
+	return res, nil
+}
+
+func (r *Figure6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: bottle graphs (RPPM vs simulation), widest box at the bottom\n\n")
+	for _, row := range r.Rows {
+		b.WriteString(textplot.SideBySideBottles(row.Name, row.Model, row.Sim, 5))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rppm/internal/arch"
+	"rppm/internal/prng"
+	"rppm/internal/textplot"
+	"rppm/internal/workload"
+)
+
+// TableIResult is the accumulating-error micro-benchmark (Table I): the
+// overall prediction error for a barrier-synchronized loop as a function of
+// thread count and per-epoch (inter-barrier) prediction error.
+type TableIResult struct {
+	Threads    []int
+	ErrorPcts  []float64
+	MonteCarlo [][]float64 // [thread][error] overall error, Monte Carlo
+	ClosedForm [][]float64 // e·(n−1)/(n+1) under uniform error
+}
+
+// TableI reproduces Table I. A loop of iters iterations is parallelized
+// over n threads with a barrier per iteration; every thread's per-iteration
+// time is predicted with a uniformly distributed error in ±e. The barrier
+// takes the max across threads, so overestimations accumulate: under
+// uniform error the expected per-barrier overshoot is e·(n−1)/(n+1), which
+// the Monte Carlo run converges to.
+func TableI(iters, trials int, seed uint64) *TableIResult {
+	res := &TableIResult{
+		Threads:   []int{1, 2, 4, 8, 16},
+		ErrorPcts: []float64{1, 5, 10},
+	}
+	r := prng.New(seed)
+	for _, n := range res.Threads {
+		var mc, cf []float64
+		for _, ePct := range res.ErrorPcts {
+			e := ePct / 100
+			total := 0.0
+			for trial := 0; trial < trials; trial++ {
+				pred := 0.0
+				for it := 0; it < iters; it++ {
+					barrier := 0.0
+					for t := 0; t < n; t++ {
+						v := 1 + r.Range(-e, e)
+						if v > barrier {
+							barrier = v
+						}
+					}
+					pred += barrier
+				}
+				actual := float64(iters)
+				total += (pred - actual) / actual
+			}
+			mc = append(mc, total/float64(trials)*100)
+			cf = append(cf, e*float64(n-1)/float64(n+1)*100)
+		}
+		res.MonteCarlo = append(res.MonteCarlo, mc)
+		res.ClosedForm = append(res.ClosedForm, cf)
+	}
+	return res
+}
+
+func (r *TableIResult) String() string {
+	header := []string{"#Threads"}
+	for _, e := range r.ErrorPcts {
+		header = append(header, fmt.Sprintf("%.0f%% (MC)", e), fmt.Sprintf("%.0f%% (exact)", e))
+	}
+	var rows [][]string
+	for i, n := range r.Threads {
+		row := []string{fmt.Sprintf("%d", n)}
+		for j := range r.ErrorPcts {
+			row = append(row,
+				fmt.Sprintf("%.2f%%", r.MonteCarlo[i][j]),
+				fmt.Sprintf("%.2f%%", r.ClosedForm[i][j]))
+		}
+		rows = append(rows, row)
+	}
+	return "Table I: accumulating prediction errors at barriers\n" +
+		"(overall error vs thread count and inter-barrier error bound)\n" +
+		textplot.Table(header, rows)
+}
+
+// TableII lists the Rodinia benchmarks and their inputs.
+func TableII() string {
+	var rows [][]string
+	for _, bm := range workload.Suite() {
+		if bm.Kind == workload.Rodinia {
+			rows = append(rows, []string{bm.Name, bm.Input})
+		}
+	}
+	return "Table II: Rodinia benchmarks and inputs\n" +
+		textplot.Table([]string{"Benchmark", "Input"}, rows)
+}
+
+// TableIIIResult holds dynamic synchronization event counts per Parsec
+// benchmark.
+type TableIIIResult struct {
+	Names            []string
+	CriticalSections []int
+	Barriers         []int
+	CondVars         []int
+}
+
+// TableIII profiles the Parsec-like suite and counts its dynamic
+// synchronization events (critical sections, barrier arrivals,
+// condition-variable events).
+func TableIII(cfg Config) (*TableIIIResult, error) {
+	cfg = cfg.withDefaults()
+	res := &TableIIIResult{}
+	for _, bm := range workload.Suite() {
+		if bm.Kind != workload.Parsec {
+			continue
+		}
+		prof, err := runProfileOnly(bm, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cs, bar, cv := prof.SyncCounts()
+		res.Names = append(res.Names, bm.Name)
+		res.CriticalSections = append(res.CriticalSections, cs)
+		res.Barriers = append(res.Barriers, bar)
+		res.CondVars = append(res.CondVars, cv)
+	}
+	return res, nil
+}
+
+func runProfileOnly(bm workload.Benchmark, cfg Config) (prof *profilerProfile, err error) {
+	return profileBench(bm, cfg)
+}
+
+func (r *TableIIIResult) String() string {
+	var rows [][]string
+	dash := func(n int) string {
+		if n == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	for i, name := range r.Names {
+		rows = append(rows, []string{name, dash(r.CriticalSections[i]),
+			dash(r.Barriers[i]), dash(r.CondVars[i])})
+	}
+	return "Table III: synchronization events in the Parsec benchmarks\n" +
+		textplot.Table([]string{"Benchmark", "Critical Sections", "Barriers", "Cond. var."}, rows)
+}
+
+// TableIV renders the simulated architecture configurations.
+func TableIV() string {
+	space := arch.DesignSpace()
+	header := []string{"parameter"}
+	for _, c := range space {
+		header = append(header, c.Name)
+	}
+	row := func(name string, f func(c arch.Config) string) []string {
+		out := []string{name}
+		for _, c := range space {
+			out = append(out, f(c))
+		}
+		return out
+	}
+	rows := [][]string{
+		row("frequency [GHz]", func(c arch.Config) string { return fmt.Sprintf("%.2f", c.FrequencyGHz) }),
+		row("dispatch width", func(c arch.Config) string { return fmt.Sprintf("%d", c.DispatchWidth) }),
+		row("ROB size", func(c arch.Config) string { return fmt.Sprintf("%d", c.ROBSize) }),
+		row("issue queue size", func(c arch.Config) string { return fmt.Sprintf("%d", c.IssueQueueSize) }),
+	}
+	base := arch.Base()
+	shared := fmt.Sprintf(
+		"branch predictor: %d KB tournament; L1-I %d KB %d-way; L1-D %d KB %d-way;\n"+
+			"L2 %d KB %d-way private; LLC %d MB %d-way shared",
+		base.BPredBytes>>10, base.L1I.SizeBytes>>10, base.L1I.Assoc,
+		base.L1D.SizeBytes>>10, base.L1D.Assoc,
+		base.L2.SizeBytes>>10, base.L2.Assoc,
+		base.LLC.SizeBytes>>20, base.LLC.Assoc)
+	return "Table IV: simulated architecture configurations\n" +
+		textplot.Table(header, rows) + shared + "\n"
+}
+
+// TableVRow is one benchmark's design-space-exploration outcome.
+type TableVRow struct {
+	Name string
+	// Deficiency[b] is the simulated slowdown of the config chosen with
+	// bound Bounds[b] relative to the true optimum; Candidates[b] is how
+	// many design points fell within the bound.
+	Deficiency []float64
+	Candidates []int
+}
+
+// TableVResult is the full DSE case study.
+type TableVResult struct {
+	Bounds []float64 // relative bounds: 0, 0.01, 0.03, 0.05
+	Rows   []TableVRow
+}
+
+// TableV reproduces the design-space-exploration case study: for every
+// Rodinia benchmark, RPPM (from a single profile) predicts the performance
+// of the five Table IV design points; the design points within a bound of
+// the predicted optimum are then "simulated" to pick the final choice, and
+// the choice is compared against the true optimum found by exhaustive
+// simulation.
+func TableV(cfg Config) (*TableVResult, error) {
+	cfg = cfg.withDefaults()
+	space := arch.DesignSpace()
+	res := &TableVResult{Bounds: []float64{0, 0.01, 0.03, 0.05}}
+	for _, bm := range workload.Suite() {
+		if bm.Kind != workload.Rodinia {
+			continue
+		}
+		prof, err := profileBench(bm, cfg)
+		if err != nil {
+			return nil, err
+		}
+		predicted := make([]float64, len(space))
+		simulated := make([]float64, len(space))
+		for i, target := range space {
+			pred, err := corePredict(prof, target)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", bm.Name, target.Name, err)
+			}
+			predicted[i] = pred
+			simRes, err := simRun(bm, cfg, target)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", bm.Name, target.Name, err)
+			}
+			simulated[i] = simRes
+		}
+		trueBest := minIndex(simulated)
+		predBest := minIndex(predicted)
+		row := TableVRow{Name: bm.Name}
+		for _, bound := range res.Bounds {
+			// Candidate set: designs predicted within bound of the
+			// predicted optimum.
+			bestChoice := -1
+			candidates := 0
+			for i := range space {
+				if predicted[i] <= predicted[predBest]*(1+bound) {
+					candidates++
+					if bestChoice < 0 || simulated[i] < simulated[bestChoice] {
+						bestChoice = i
+					}
+				}
+			}
+			def := (simulated[bestChoice] - simulated[trueBest]) / simulated[trueBest]
+			row.Deficiency = append(row.Deficiency, def)
+			row.Candidates = append(row.Candidates, candidates)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AverageDeficiency returns the mean deficiency per bound.
+func (r *TableVResult) AverageDeficiency() []float64 {
+	out := make([]float64, len(r.Bounds))
+	if len(r.Rows) == 0 {
+		return out
+	}
+	for _, row := range r.Rows {
+		for b := range r.Bounds {
+			out[b] += row.Deficiency[b]
+		}
+	}
+	for b := range out {
+		out[b] /= float64(len(r.Rows))
+	}
+	return out
+}
+
+func (r *TableVResult) String() string {
+	header := []string{"Benchmark"}
+	for _, b := range r.Bounds {
+		header = append(header, fmt.Sprintf("<%.0f%%", b*100))
+	}
+	var rows [][]string
+	for _, row := range r.Rows {
+		cells := []string{row.Name}
+		for b := range r.Bounds {
+			cells = append(cells, fmt.Sprintf("%.2f%% %d", row.Deficiency[b]*100, row.Candidates[b]))
+		}
+		rows = append(rows, cells)
+	}
+	avg := []string{"average"}
+	for _, d := range r.AverageDeficiency() {
+		avg = append(avg, fmt.Sprintf("%.2f%%", d*100))
+	}
+	rows = append(rows, avg)
+	return "Table V: predicting the optimum design point (deficiency vs true optimum, #candidates)\n" +
+		textplot.Table(header, rows)
+}
+
+func minIndex(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+var _ = strings.TrimSpace // keep strings imported for future renderers

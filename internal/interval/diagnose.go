@@ -1,0 +1,48 @@
+package interval
+
+import (
+	"rppm/internal/arch"
+	"rppm/internal/ilp"
+	"rppm/internal/mlp"
+	"rppm/internal/profiler"
+	"rppm/internal/statstack"
+)
+
+// Diagnosis exposes the intermediate model quantities behind a PredictEpoch
+// call, for calibration tooling and tests.
+type Diagnosis struct {
+	Deff     float64
+	Cres     float64
+	MissRate struct {
+		L1D, L2, LLC float64
+		L1I          float64
+	}
+	MLP        float64
+	MLPMisses  int
+	BranchMiss float64
+}
+
+// Diagnose recomputes the internals of PredictEpoch for inspection.
+func Diagnose(ep *profiler.Epoch, cfg *arch.Config) Diagnosis {
+	var d Diagnosis
+	res := ilp.Analyze(ep.Windows, ep.Mix, cfg)
+	d.Deff = res.Deff
+	d.Cres = res.Cres
+	d.BranchMiss = ep.Branch.MissRate(cfg.BPredBytes)
+	if ep.ILineAccesses > 0 {
+		im := statstack.New(ep.InstrRD)
+		d.MissRate.L1I = im.MissRate(cfg.L1I.Lines())
+	}
+	if ep.Loads > 0 {
+		pm := statstack.New(ep.PrivateRD)
+		gm := statstack.New(ep.GlobalRD)
+		d.MissRate.L1D = pm.MissRate(cfg.L1D.Lines())
+		d.MissRate.L2 = minF(pm.MissRate(cfg.L2.Lines()), d.MissRate.L1D)
+		d.MissRate.LLC = minF(gm.MissRate(cfg.LLC.Lines()), d.MissRate.L2)
+		d.MLP, d.MLPMisses = mlp.Compute(ep.Windows, cfg.ROBSize, cfg.MSHRs,
+			llcMissPredicate(gm, cfg))
+	} else {
+		d.MLP = 1
+	}
+	return d
+}

@@ -1,0 +1,131 @@
+// Package prng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the repository.
+//
+// Everything in this project — workload generation, profiling, simulation,
+// Monte-Carlo experiments — must be bit-reproducible across runs and across
+// machines, so we avoid math/rand's global state and use an explicit
+// SplitMix64 generator (Steele, Lea, Flood; used as the seeding generator of
+// xoshiro). SplitMix64 passes BigCrush, has a 2^64 period, and its tiny state
+// makes it cheap to fork: deriving independent sub-streams for each thread or
+// block is a single Fork call.
+package prng
+
+import "math"
+
+// Source is a deterministic 64-bit PRNG (SplitMix64).
+// The zero value is a valid generator seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Uint64 returns the next 64-bit value in the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Fork derives an independent child generator. The child stream is decorrelated
+// from the parent by mixing a fresh draw with a distinct odd constant.
+func (s *Source) Fork() *Source {
+	return &Source{state: s.Uint64() ^ 0xA3EC647659359ACD}
+}
+
+// Intn returns a uniform integer in [0, n). n must be > 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). n must be > 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with zero n")
+	}
+	return s.Uint64() % n
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (s *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Geometric returns a geometrically distributed integer >= 1 with success
+// probability p in (0, 1]; the mean is 1/p.
+func (s *Source) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		panic("prng: Geometric with non-positive p")
+	}
+	u := s.Float64()
+	// Inverse CDF of the geometric distribution on {1, 2, ...}.
+	k := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation (Box-Muller, one value per call for simplicity).
+func (s *Source) Normal(mean, stddev float64) float64 {
+	u1 := s.Float64()
+	u2 := s.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Pick returns an index in [0, len(weights)) with probability proportional to
+// weights[i]. All weights must be non-negative and at least one positive.
+func (s *Source) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("prng: Pick with non-positive total weight")
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm fills out with a uniformly random permutation of [0, len(out)).
+func (s *Source) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}

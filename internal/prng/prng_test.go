@@ -1,0 +1,193 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork()
+	c2 := parent.Fork()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling forks produced identical first draw")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnInRange(t *testing.T) {
+	s := New(5)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(9)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+		sum := 0
+		n := 100000
+		for i := 0; i < n; i++ {
+			sum += s.Geometric(p)
+		}
+		mean := float64(sum) / float64(n)
+		want := 1 / p
+		if math.Abs(mean-want) > 0.05*want {
+			t.Errorf("Geometric(%v) mean %v, want ~%v", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricAtLeastOne(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 10000; i++ {
+		if s.Geometric(0.3) < 1 {
+			t.Fatal("Geometric returned < 1")
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(17)
+	n := 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("Normal stddev %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestPickDistribution(t *testing.T) {
+	s := New(23)
+	weights := []float64{1, 3, 6}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[s.Pick(weights)]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		got := float64(counts[i]) / float64(n)
+		want := w / total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Pick index %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestPickZeroWeightNeverChosen(t *testing.T) {
+	s := New(29)
+	weights := []float64{0, 1, 0}
+	for i := 0; i < 1000; i++ {
+		if s.Pick(weights) != 1 {
+			t.Fatal("Pick chose a zero-weight index")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(31)
+	out := make([]int, 50)
+	s.Perm(out)
+	seen := make(map[int]bool)
+	for _, v := range out {
+		if v < 0 || v >= len(out) || seen[v] {
+			t.Fatalf("not a permutation: %v", out)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(37)
+	hits := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", got)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = s.Uint64()
+	}
+	_ = sink
+}

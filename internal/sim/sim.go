@@ -1,0 +1,623 @@
+// Package sim is the cycle-level multicore reference simulator — the
+// repository's stand-in for the Sniper simulator the paper validates
+// against. It executes the same trace.Program streams as the profiler, but
+// with full microarchitectural detail:
+//
+//   - an instruction-window-centric out-of-order core model (the same class
+//     of core model as Sniper's most accurate one): per-instruction
+//     dispatch, issue, complete and commit times constrained by dispatch
+//     width, ROB size, register dependences, functional-unit ports and
+//     MSHRs;
+//   - a real tournament branch predictor (internal/bpred) with resolution
+//     plus front-end refill penalties on mispredictions;
+//   - a real cache hierarchy (internal/cache): private L1I/L1D/L2,
+//     shared LLC, MESI-style write-invalidation coherence, with memory
+//     accesses interleaved in global time order across cores;
+//   - operational synchronization semantics with timing: barriers, locks
+//     (FIFO), condition variables (barrier-style and producer-consumer),
+//     thread create/join.
+//
+// Threads are advanced by a global scheduler that always runs the thread
+// with the smallest local clock, so cross-thread interactions (coherence,
+// LLC sharing, lock hand-offs) happen in a causally consistent global
+// order. The simulator reports per-thread measured CPI stacks using direct
+// penalty attribution, enabling the component-wise comparison of Figure 5.
+package sim
+
+import (
+	"fmt"
+
+	"rppm/internal/arch"
+	"rppm/internal/bpred"
+	"rppm/internal/cache"
+	"rppm/internal/interval"
+	"rppm/internal/trace"
+)
+
+// ThreadResult is the simulated outcome for one thread.
+type ThreadResult struct {
+	Instr        uint64
+	FinishCycle  float64
+	ActiveCycles float64
+	IdleCycles   float64 // waiting on synchronization (the sync component)
+	Stack        interval.Stack
+	// ActiveIntervals are the [start, end) cycle intervals during which the
+	// thread was executing (between synchronization events); used to build
+	// bottlegraphs.
+	ActiveIntervals [][2]float64
+}
+
+// Result is a complete simulation outcome.
+type Result struct {
+	Cycles  float64 // program execution time in cycles
+	Seconds float64
+	Threads []ThreadResult
+}
+
+// TotalInstr returns the total simulated instruction count.
+func (r *Result) TotalInstr() uint64 {
+	var n uint64
+	for i := range r.Threads {
+		n += r.Threads[i].Instr
+	}
+	return n
+}
+
+// port groups for issue contention.
+const (
+	portIntALU = iota
+	portIntMul
+	portFP
+	portLoad
+	portStore
+	portBranch
+	numPorts
+)
+
+func portOf(c trace.Class) int {
+	switch c {
+	case trace.IntALU:
+		return portIntALU
+	case trace.IntMul, trace.IntDiv:
+		return portIntMul
+	case trace.FPAdd, trace.FPMul, trace.FPDiv:
+		return portFP
+	case trace.Load:
+		return portLoad
+	case trace.Store:
+		return portStore
+	default:
+		return portBranch
+	}
+}
+
+type simThread struct {
+	id     int
+	core   int
+	stream trace.ThreadStream
+
+	created bool
+	blocked bool
+	done    bool
+
+	// Timing state. clock == prevCommit is the thread's local time.
+	clock        float64
+	prevCommit   float64
+	prevDispatch float64
+	frontendFree float64
+	rob          []float64 // ring of the last ROBSize commit times
+	robPos       int
+	regReady     [trace.NumRegs]float64
+	portFree     [numPorts]float64
+	outstanding  []float64 // completion times of in-flight memory misses
+
+	bp            *bpred.Tournament
+	lastILine     uint64
+	haveILine     bool
+	frontendCause uint8 // what last stalled the front end (for attribution)
+
+	// Accounting.
+	instr      uint64
+	epochStart float64
+	intervals  [][2]float64
+	idle       float64
+	stack      interval.Stack
+	finish     float64
+
+	blockedAt float64 // clock when the thread blocked (to compute idle)
+}
+
+type simLock struct {
+	held   bool
+	holder int
+	queue  []int
+	// releaseTime is the clock at which the lock last became free.
+	releaseTime float64
+}
+
+type simBarrier struct {
+	arrived int
+	waiters []int
+	maxTime float64
+}
+
+type producerState struct {
+	items     int
+	itemTimes []float64 // production times of queued items
+	queue     []int     // blocked consumers
+}
+
+type engine struct {
+	cfg     arch.Config
+	prog    trace.Program
+	hier    *cache.Hierarchy
+	threads []*simThread
+
+	locks        map[uint32]*simLock
+	barriers     map[uint32]*simBarrier
+	condBarriers map[uint32]*simBarrier
+	producers    map[uint32]*producerState
+	joinWaiters  map[int][]int
+}
+
+// Run simulates the program on the configuration and returns the result.
+// It returns an error for invalid configurations or deadlocked programs.
+func Run(p trace.Program, cfg arch.Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:          cfg,
+		prog:         p,
+		hier:         cache.NewHierarchy(cfg),
+		locks:        make(map[uint32]*simLock),
+		barriers:     make(map[uint32]*simBarrier),
+		condBarriers: make(map[uint32]*simBarrier),
+		producers:    make(map[uint32]*producerState),
+		joinWaiters:  make(map[int][]int),
+	}
+	for t := 0; t < p.NumThreads(); t++ {
+		st := &simThread{
+			id:      t,
+			core:    t % cfg.Cores,
+			stream:  p.Thread(t),
+			created: t == 0,
+			rob:     make([]float64, cfg.ROBSize),
+			bp:      bpred.New(cfg.BPredBytes),
+		}
+		e.threads = append(e.threads, st)
+	}
+
+	// Scheduling quantum: a thread may run ahead of the globally slowest
+	// runnable thread by at most this many cycles before yielding, bounding
+	// causal skew of shared-memory interleaving.
+	const quantum = 200.0
+
+	for {
+		// Pick the runnable thread with the smallest clock.
+		var cur *simThread
+		allDone := true
+		for _, st := range e.threads {
+			if st.done {
+				continue
+			}
+			allDone = false
+			if !st.created || st.blocked {
+				continue
+			}
+			if cur == nil || st.clock < cur.clock {
+				cur = st
+			}
+		}
+		if allDone {
+			break
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("sim: deadlock in %q", p.Name())
+		}
+		limit := cur.clock + quantum
+		for cur.clock <= limit && !cur.done && !cur.blocked {
+			item, ok := cur.stream.Next()
+			if !ok {
+				e.handleSync(cur, trace.Event{Kind: trace.SyncThreadExit})
+				break
+			}
+			if item.IsSync {
+				e.handleSync(cur, item.Sync)
+				break // sync events end the quantum: state may have changed
+			}
+			e.step(cur, item.Instr)
+		}
+	}
+
+	res := &Result{}
+	for _, st := range e.threads {
+		if st.finish > res.Cycles {
+			res.Cycles = st.finish
+		}
+		st.stack.Sync = st.idle
+		active := st.activeTotal()
+		st.stack.Instr = st.instr
+		res.Threads = append(res.Threads, ThreadResult{
+			Instr:           st.instr,
+			FinishCycle:     st.finish,
+			ActiveCycles:    active,
+			IdleCycles:      st.idle,
+			Stack:           st.stack,
+			ActiveIntervals: st.intervals,
+		})
+	}
+	res.Seconds = cfg.CyclesToSeconds(res.Cycles)
+	return res, nil
+}
+
+func (st *simThread) activeTotal() float64 {
+	total := 0.0
+	for _, iv := range st.intervals {
+		total += iv[1] - iv[0]
+	}
+	return total
+}
+
+// resumeAt restarts a thread's pipeline at time t (after a synchronization
+// event): the ROB is drained, all registers are ready, the front-end is
+// clean.
+func (st *simThread) resumeAt(t float64) {
+	st.clock = t
+	st.prevCommit = t
+	st.prevDispatch = t
+	st.frontendFree = t
+	for i := range st.rob {
+		st.rob[i] = t
+	}
+	for i := range st.regReady {
+		st.regReady[i] = t
+	}
+	for i := range st.portFree {
+		st.portFree[i] = t
+	}
+	st.outstanding = st.outstanding[:0]
+	st.epochStart = t
+}
+
+// closeEpoch ends the current active interval at the thread's clock.
+func (st *simThread) closeEpoch() {
+	if st.clock > st.epochStart {
+		st.intervals = append(st.intervals, [2]float64{st.epochStart, st.clock})
+	}
+	st.epochStart = st.clock
+}
+
+// block marks the thread blocked at its current clock.
+func (e *engine) block(st *simThread) {
+	st.blocked = true
+	st.blockedAt = st.clock
+}
+
+// wake resumes a blocked thread at time t (>= its blocking time), adding
+// overhead cycles for the synchronization primitive itself.
+func (e *engine) wake(st *simThread, t float64) {
+	if t < st.blockedAt {
+		t = st.blockedAt
+	}
+	st.idle += t - st.blockedAt
+	st.blocked = false
+	st.resumeAt(t + float64(e.cfg.SyncOverhead))
+}
+
+func (e *engine) handleSync(st *simThread, ev trace.Event) {
+	st.closeEpoch()
+	ov := float64(e.cfg.SyncOverhead)
+	switch ev.Kind {
+	case trace.SyncBarrier:
+		e.barrierArrive(e.barriers, st, ev)
+	case trace.SyncCondWaitMarker:
+		if ev.Arg > 0 {
+			e.barrierArrive(e.condBarriers, st, ev)
+			return
+		}
+		ps := e.producerState(ev.Obj)
+		if ps.items > 0 {
+			ps.items--
+			t := ps.itemTimes[0]
+			ps.itemTimes = ps.itemTimes[1:]
+			// The item may have been produced after we arrived (can only
+			// happen transiently under quantum skew); wait for it.
+			start := st.clock
+			if t > start {
+				st.idle += t - start
+				start = t
+			}
+			st.resumeAt(start + ov)
+			return
+		}
+		e.block(st)
+		ps.queue = append(ps.queue, st.id)
+	case trace.SyncCondBroadcast, trace.SyncCondSignal:
+		ps := e.producerState(ev.Obj)
+		if len(ps.queue) > 0 {
+			waiter := e.threads[ps.queue[0]]
+			ps.queue = ps.queue[1:]
+			e.wake(waiter, st.clock)
+		} else {
+			ps.items++
+			ps.itemTimes = append(ps.itemTimes, st.clock)
+		}
+		st.resumeAt(st.clock + ov)
+	case trace.SyncLockAcquire:
+		l := e.locks[ev.Obj]
+		if l == nil {
+			l = &simLock{}
+			e.locks[ev.Obj] = l
+		}
+		if l.held {
+			e.block(st)
+			l.queue = append(l.queue, st.id)
+			return
+		}
+		l.held = true
+		l.holder = st.id
+		st.resumeAt(st.clock + ov)
+	case trace.SyncLockRelease:
+		l := e.locks[ev.Obj]
+		if l == nil || !l.held || l.holder != st.id {
+			st.resumeAt(st.clock + ov)
+			return
+		}
+		l.releaseTime = st.clock
+		if len(l.queue) > 0 {
+			next := e.threads[l.queue[0]]
+			l.queue = l.queue[1:]
+			l.holder = next.id
+			e.wake(next, st.clock)
+		} else {
+			l.held = false
+		}
+		st.resumeAt(st.clock + ov)
+	case trace.SyncThreadCreate:
+		if ev.Arg > 0 && ev.Arg < len(e.threads) {
+			child := e.threads[ev.Arg]
+			child.created = true
+			child.resumeAt(st.clock + ov)
+		}
+		st.resumeAt(st.clock + ov)
+	case trace.SyncThreadJoin:
+		if ev.Arg >= 0 && ev.Arg < len(e.threads) {
+			target := e.threads[ev.Arg]
+			if !target.done {
+				e.block(st)
+				e.joinWaiters[ev.Arg] = append(e.joinWaiters[ev.Arg], st.id)
+				return
+			}
+			if target.finish > st.clock {
+				st.idle += target.finish - st.clock
+				st.resumeAt(target.finish + ov)
+				return
+			}
+		}
+		st.resumeAt(st.clock + ov)
+	case trace.SyncThreadExit:
+		st.done = true
+		st.finish = st.clock
+		for _, w := range e.joinWaiters[st.id] {
+			e.wake(e.threads[w], st.clock)
+		}
+		delete(e.joinWaiters, st.id)
+	}
+}
+
+func (e *engine) producerState(obj uint32) *producerState {
+	ps := e.producers[obj]
+	if ps == nil {
+		ps = &producerState{}
+		e.producers[obj] = ps
+	}
+	return ps
+}
+
+func (e *engine) barrierArrive(m map[uint32]*simBarrier, st *simThread, ev trace.Event) {
+	bs := m[ev.Obj]
+	if bs == nil {
+		bs = &simBarrier{}
+		m[ev.Obj] = bs
+	}
+	bs.arrived++
+	if st.clock > bs.maxTime {
+		bs.maxTime = st.clock
+	}
+	if bs.arrived >= ev.Arg {
+		release := bs.maxTime
+		for _, w := range bs.waiters {
+			e.wake(e.threads[w], release)
+		}
+		// The releasing (last) thread also pays the barrier overhead.
+		st.resumeAt(release + float64(e.cfg.SyncOverhead))
+		bs.arrived = 0
+		bs.waiters = bs.waiters[:0]
+		bs.maxTime = 0
+		return
+	}
+	e.block(st)
+	bs.waiters = append(bs.waiters, st.id)
+}
+
+// Front-end stall causes, for commit-gap attribution.
+const (
+	feNone uint8 = iota
+	feBranch
+	feICache
+)
+
+// step advances the thread's timing state by one instruction (the
+// instruction-window-centric core model).
+func (e *engine) step(st *simThread, in trace.Instr) {
+	cfg := &e.cfg
+	width := float64(cfg.DispatchWidth)
+
+	// Front end: I-cache and mispredict refill determine fetch readiness.
+	fetchReady := st.frontendFree
+	iline := in.PC >> 6
+	if !st.haveILine || iline != st.lastILine {
+		lat, _ := e.hier.AccessInstr(st.core, in.PC)
+		if lat > 0 {
+			fetchReady += float64(lat)
+			st.frontendFree = fetchReady
+			st.frontendCause = feICache
+		}
+		st.lastILine = iline
+		st.haveILine = true
+	}
+
+	// Dispatch: bandwidth, ROB occupancy, front-end readiness.
+	dispatch := fetchReady
+	if d := st.prevDispatch + 1/width; d > dispatch {
+		dispatch = d
+	}
+	if r := st.rob[st.robPos]; r > dispatch {
+		dispatch = r // ROB full: wait for the oldest entry to commit
+	}
+	st.prevDispatch = dispatch
+	frontendBound := dispatch == fetchReady && fetchReady > st.epochStart
+
+	// Issue: operand readiness and port contention.
+	ready := dispatch
+	if in.Src1 >= 0 && st.regReady[in.Src1] > ready {
+		ready = st.regReady[in.Src1]
+	}
+	if in.Src2 >= 0 && st.regReady[in.Src2] > ready {
+		ready = st.regReady[in.Src2]
+	}
+	pg := portOf(in.Class)
+	issue := ready
+	if st.portFree[pg] > issue {
+		issue = st.portFree[pg]
+	}
+	st.portFree[pg] = issue + 1/portCount(cfg, pg)
+
+	// Execute.
+	var complete float64
+	var memLevel cache.Level = -1
+	switch in.Class {
+	case trace.Load:
+		lat, lvl := e.hier.AccessData(st.core, in.Addr, false)
+		memLevel = lvl
+		if lvl != cache.LevelL1 {
+			// MSHR limit: if all miss registers are busy, wait.
+			issue = st.mshrAdmit(issue, cfg.MSHRs)
+		}
+		complete = issue + float64(lat)
+		if lvl != cache.LevelL1 {
+			st.outstanding = append(st.outstanding, complete)
+		}
+	case trace.Store:
+		// Stores update coherence state but retire through the store
+		// buffer: one cycle of core latency.
+		e.hier.AccessData(st.core, in.Addr, true)
+		complete = issue + 1
+	default:
+		complete = issue + float64(in.Class.ExecLatency())
+	}
+	if in.Dst >= 0 {
+		st.regReady[in.Dst] = complete
+	}
+
+	// Branch prediction.
+	mispredicted := false
+	if in.Class == trace.Branch {
+		if correct := st.bp.Update(in.PC, in.Taken); !correct {
+			mispredicted = true
+			refill := complete + float64(cfg.FrontendDepth)
+			if refill > st.frontendFree {
+				st.frontendFree = refill
+				st.frontendCause = feBranch
+			}
+		}
+	}
+
+	// In-order commit with width bandwidth.
+	commit := complete
+	if c := st.prevCommit + 1/width; c > commit {
+		commit = c
+	}
+
+	// Commit-gap attribution: every cycle of commit progress is charged to
+	// exactly one component, so per-thread stacks sum to active time. The
+	// smooth-flow share (1/width) and dependence/port stalls are base; the
+	// excess beyond smooth flow goes to the binding penalty.
+	gap := commit - st.prevCommit
+	excess := gap - 1/width
+	if excess > 0 {
+		switch {
+		case memLevel == cache.LevelL2:
+			st.stack.MemL2 += excess
+		case memLevel == cache.LevelLLC:
+			st.stack.MemLLC += excess
+		case memLevel == cache.LevelRemote, memLevel == cache.LevelMem:
+			st.stack.MemDRAM += excess
+		case mispredicted:
+			// The mispredicted branch's own resolution latency.
+			st.stack.Branch += excess
+		case frontendBound && st.frontendCause == feBranch:
+			st.stack.Branch += excess
+		case frontendBound && st.frontendCause == feICache:
+			st.stack.ICache += excess
+		default:
+			st.stack.Base += excess
+		}
+		st.stack.Base += gap - excess
+	} else {
+		st.stack.Base += gap
+	}
+
+	st.prevCommit = commit
+	st.clock = commit
+	st.rob[st.robPos] = commit
+	st.robPos++
+	if st.robPos == len(st.rob) {
+		st.robPos = 0
+	}
+	st.instr++
+}
+
+// mshrAdmit delays issue until an MSHR is available and prunes completed
+// misses.
+func (st *simThread) mshrAdmit(issue float64, mshrs int) float64 {
+	live := st.outstanding[:0]
+	for _, c := range st.outstanding {
+		if c > issue {
+			live = append(live, c)
+		}
+	}
+	st.outstanding = live
+	for len(st.outstanding) >= mshrs {
+		// Wait for the earliest completion.
+		minI := 0
+		for i, c := range st.outstanding {
+			if c < st.outstanding[minI] {
+				minI = i
+			}
+		}
+		if st.outstanding[minI] > issue {
+			issue = st.outstanding[minI]
+		}
+		st.outstanding = append(st.outstanding[:minI], st.outstanding[minI+1:]...)
+	}
+	return issue
+}
+
+func portCount(cfg *arch.Config, pg int) float64 {
+	switch pg {
+	case portIntALU:
+		return float64(cfg.IntALUPorts)
+	case portIntMul:
+		return float64(cfg.IntMulPorts)
+	case portFP:
+		return float64(cfg.FPPorts)
+	case portLoad:
+		return float64(cfg.LoadPorts)
+	case portStore:
+		return float64(cfg.StorePorts)
+	default:
+		return float64(cfg.BranchUnits)
+	}
+}

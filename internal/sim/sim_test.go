@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"rppm/internal/arch"
+	"rppm/internal/trace"
+	"rppm/internal/workload"
+)
+
+func runBench(t *testing.T, name string, scale float64, cfg arch.Config) *Result {
+	t.Helper()
+	bm, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(bm.Build(1, scale), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSimulationCompletes(t *testing.T) {
+	res := runBench(t, "hotspot", 0.05, arch.Base())
+	if res.Cycles <= 0 {
+		t.Fatal("zero execution time")
+	}
+	if res.TotalInstr() == 0 {
+		t.Fatal("zero instructions simulated")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := runBench(t, "srad", 0.04, arch.Base())
+	b := runBench(t, "srad", 0.04, arch.Base())
+	if a.Cycles != b.Cycles {
+		t.Fatalf("non-deterministic: %v vs %v cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestInstructionCountMatchesWorkload(t *testing.T) {
+	bm, _ := workload.ByName("lud")
+	want := bm.Build(1, 0.05).TotalInstructions()
+	res, err := Run(bm.Build(1, 0.05), arch.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(res.TotalInstr()); got != want {
+		t.Fatalf("simulated %d instructions, workload has %d", got, want)
+	}
+}
+
+func TestIPCPlausible(t *testing.T) {
+	res := runBench(t, "lavaMD", 0.05, arch.Base())
+	for tid, tr := range res.Threads {
+		if tr.Instr == 0 {
+			continue
+		}
+		ipc := float64(tr.Instr) / tr.ActiveCycles
+		if ipc < 0.05 || ipc > 4.001 {
+			t.Fatalf("thread %d IPC %v outside plausible range", tid, ipc)
+		}
+	}
+}
+
+func TestCPIStackSumsToTotalTime(t *testing.T) {
+	res := runBench(t, "bfs", 0.04, arch.Base())
+	for tid, tr := range res.Threads {
+		sum := tr.Stack.TotalCycles()
+		want := tr.ActiveCycles + tr.IdleCycles
+		if want == 0 {
+			continue
+		}
+		if math.Abs(sum-want)/want > 1e-6 {
+			t.Fatalf("thread %d: stack %v vs active+idle %v", tid, sum, want)
+		}
+	}
+}
+
+func TestBarrierSynchronizationTiming(t *testing.T) {
+	// With a barrier loop, all threads must finish at (nearly) the same
+	// time and idle time must be bounded by the imbalance.
+	prog := workload.BarrierLoop(4, 8, 2000, 3)
+	res, err := Run(prog, arch.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minF, maxF float64 = math.Inf(1), 0
+	for _, tr := range res.Threads {
+		if tr.FinishCycle < minF {
+			minF = tr.FinishCycle
+		}
+		if tr.FinishCycle > maxF {
+			maxF = tr.FinishCycle
+		}
+	}
+	// Workers finish at the last barrier; the main thread additionally runs
+	// joins. Finish times must be within a small tolerance of each other.
+	if (maxF-minF)/maxF > 0.05 {
+		t.Fatalf("finish skew too large: [%v, %v]", minF, maxF)
+	}
+}
+
+func TestCriticalSectionsSerialize(t *testing.T) {
+	// Two threads each execute one long critical section on the same lock:
+	// total time must be at least the sum of both section bodies.
+	b := workload.NewBuilder("cs-serial", 3, 1)
+	b.CreateWorkers()
+	lock := b.NewObj()
+	body := workload.Block{N: 20000, Mix: workload.MixInt(), PrivateBytes: 32 << 10}
+	for _, tid := range b.Workers() {
+		b.Critical(tid, lock, body)
+	}
+	prog := b.Finish()
+	res, err := Run(prog, arch.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One thread must have waited for the other's full section.
+	totalIdle := res.Threads[1].IdleCycles + res.Threads[2].IdleCycles
+	oneSection := res.Threads[1].ActiveCycles
+	if totalIdle < oneSection*0.5 {
+		t.Fatalf("critical sections did not serialize: idle %v vs section %v",
+			totalIdle, oneSection)
+	}
+}
+
+func TestProducerConsumerOrdering(t *testing.T) {
+	res := runBench(t, "vips", 0.05, arch.Base())
+	if res.Cycles <= 0 {
+		t.Fatal("vips did not complete")
+	}
+	// Workers must accumulate idle time waiting for produced strips only if
+	// the producer is slower; either way the run completes (no deadlock).
+}
+
+func TestMemoryBoundSlowerThanComputeBound(t *testing.T) {
+	// nn (streaming 16MB footprint) must have a much higher CPI than
+	// lavaMD (hot 64KB working set).
+	nn := runBench(t, "nn", 0.05, arch.Base())
+	lava := runBench(t, "lavaMD", 0.05, arch.Base())
+	cpiOf := func(r *Result) float64 {
+		var cycles float64
+		var instr uint64
+		for _, tr := range r.Threads {
+			cycles += tr.ActiveCycles
+			instr += tr.Instr
+		}
+		return cycles / float64(instr)
+	}
+	if cpiOf(nn) < cpiOf(lava)*1.2 {
+		t.Fatalf("memory-bound nn CPI %v not above compute-bound lavaMD CPI %v",
+			cpiOf(nn), cpiOf(lava))
+	}
+}
+
+func TestMemDRAMComponentPresentForStreaming(t *testing.T) {
+	res := runBench(t, "nn", 0.05, arch.Base())
+	var dram, base float64
+	for _, tr := range res.Threads {
+		dram += tr.Stack.MemDRAM
+		base += tr.Stack.Base
+	}
+	if dram <= 0 {
+		t.Fatal("streaming workload shows no DRAM component")
+	}
+}
+
+func TestICacheComponentForBigCode(t *testing.T) {
+	leuko := runBench(t, "leukocyte", 0.05, arch.Base()) // 128KB code footprint
+	hot := runBench(t, "hotspot", 0.05, arch.Base())     // small code
+	icacheShare := func(r *Result) float64 {
+		var ic, tot float64
+		for _, tr := range r.Threads {
+			ic += tr.Stack.ICache
+			tot += tr.ActiveCycles
+		}
+		return ic / tot
+	}
+	if icacheShare(leuko) <= icacheShare(hot) {
+		t.Fatalf("big-code benchmark I-cache share %v not above small-code %v",
+			icacheShare(leuko), icacheShare(hot))
+	}
+}
+
+func TestFrequencyScalesSeconds(t *testing.T) {
+	cfg1 := arch.Base()
+	cfg2 := arch.Base()
+	cfg2.FrequencyGHz = cfg1.FrequencyGHz * 2
+	bm, _ := workload.ByName("lavaMD")
+	r1, err := Run(bm.Build(1, 0.04), cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(bm.Build(1, 0.04), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical cycle behaviour (memory latency is in cycles), so doubling
+	// the clock halves seconds.
+	if math.Abs(r1.Cycles-r2.Cycles) > 1e-9 {
+		t.Fatalf("cycles changed with frequency: %v vs %v", r1.Cycles, r2.Cycles)
+	}
+	if math.Abs(r1.Seconds/r2.Seconds-2) > 1e-9 {
+		t.Fatalf("seconds ratio %v, want 2", r1.Seconds/r2.Seconds)
+	}
+}
+
+func TestWiderCoreNotSlower(t *testing.T) {
+	// For a compute-bound workload, the biggest core (width 6) must not
+	// execute more cycles than the smallest (width 2).
+	bm, _ := workload.ByName("lavaMD")
+	space := arch.DesignSpace()
+	small, err := Run(bm.Build(1, 0.04), space[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(bm.Build(1, 0.04), space[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Cycles > small.Cycles*1.05 {
+		t.Fatalf("6-wide core slower in cycles than 2-wide: %v vs %v", big.Cycles, small.Cycles)
+	}
+}
+
+func TestActiveIntervalsWellFormed(t *testing.T) {
+	res := runBench(t, "streamcluster", 0.04, arch.Base())
+	for tid, tr := range res.Threads {
+		prevEnd := 0.0
+		for _, iv := range tr.ActiveIntervals {
+			if iv[1] < iv[0] {
+				t.Fatalf("thread %d: inverted interval %v", tid, iv)
+			}
+			if iv[0] < prevEnd-1e-9 {
+				t.Fatalf("thread %d: overlapping intervals", tid)
+			}
+			prevEnd = iv[1]
+		}
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := arch.Base()
+	cfg.ROBSize = 0
+	bm, _ := workload.ByName("nn")
+	if _, err := Run(bm.Build(1, 0.02), cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	prog := &trace.SliceProgram{
+		ProgName: "deadlock",
+		Threads: [][]trace.Item{{
+			trace.SyncItem(trace.Event{Kind: trace.SyncThreadJoin, Arg: 0}),
+			trace.SyncItem(trace.Event{Kind: trace.SyncThreadExit}),
+		}},
+	}
+	if _, err := Run(prog, arch.Base()); err == nil {
+		t.Fatal("self-join deadlock not detected")
+	}
+}
+
+func TestJoinWaitsForWorkers(t *testing.T) {
+	// Main creates a worker that does heavy work while main exits straight
+	// to join: main's finish must be at least the worker's finish.
+	b := workload.NewBuilder("join-wait", 2, 1)
+	b.CreateWorkers()
+	b.Compute(1, workload.Block{N: 30000, Mix: workload.MixInt(), PrivateBytes: 64 << 10})
+	prog := b.Finish()
+	res, err := Run(prog, arch.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads[0].FinishCycle < res.Threads[1].FinishCycle {
+		t.Fatal("main finished before the worker it joined")
+	}
+	if res.Threads[0].IdleCycles <= 0 {
+		t.Fatal("main accumulated no idle time waiting for worker")
+	}
+}
+
+func BenchmarkSimulateBackprop(b *testing.B) {
+	bm, _ := workload.ByName("backprop")
+	cfg := arch.Base()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(bm.Build(1, 0.1), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package stats provides the compact statistical containers shared by the
+// profiler and the analytical models: log-bucketed histograms for
+// reuse-distance and dependence-distance distributions, and small summary
+// helpers.
+//
+// Reuse distances span ten orders of magnitude, so exact per-value counters
+// are impractical. Following StatStack practice we keep exact counts for
+// small distances and logarithmic buckets beyond a linear cutoff; within a
+// log bucket the distribution is treated as uniform when interpolating.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// linearCutoff is the largest value tracked with an exact counter. Values
+// above it fall into log2-spaced buckets (two sub-buckets per octave).
+const linearCutoff = 4096
+
+// Infinite is the sentinel distance used for cold misses and coherence
+// invalidations: a reuse distance larger than any cache will ever hold.
+const Infinite = math.MaxInt64
+
+// Histogram is a distribution over non-negative int64 values with exact
+// resolution up to linearCutoff and logarithmic resolution beyond. It also
+// tracks a separate count of Infinite samples.
+type Histogram struct {
+	linear   []uint64 // exact counts for values in [0, linearCutoff)
+	log      []uint64 // log-bucket counts for values >= linearCutoff
+	infinite uint64   // samples recorded as Infinite
+	count    uint64   // total samples, including infinite
+	sum      float64  // sum of finite samples
+	max      int64    // largest finite sample
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// logBucket maps a value >= linearCutoff to a bucket index. Each octave is
+// split in two for better resolution: bucket = 2*floor(log2 v) + half.
+func logBucket(v int64) int {
+	lg := 63 - bits.LeadingZeros64(uint64(v))
+	half := 0
+	if uint64(v)>>(uint(lg)-1)&1 == 1 { // second half of the octave
+		half = 1
+	}
+	return 2*lg + half
+}
+
+// logBucketBounds returns the inclusive lower and exclusive upper value
+// bounds of a log bucket index.
+func logBucketBounds(b int) (lo, hi int64) {
+	lg := b / 2
+	half := b % 2
+	lo = int64(1) << uint(lg)
+	mid := lo + lo/2
+	hi = int64(1) << uint(lg+1)
+	if half == 0 {
+		return lo, mid
+	}
+	return mid, hi
+}
+
+// Add records one occurrence of value v. Negative values are clamped to 0.
+func (h *Histogram) Add(v int64) {
+	h.AddN(v, 1)
+}
+
+// AddN records n occurrences of value v.
+func (h *Histogram) AddN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.count += n
+	if v == Infinite {
+		h.infinite += n
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.sum += float64(v) * float64(n)
+	if v > h.max {
+		h.max = v
+	}
+	if v < linearCutoff {
+		if h.linear == nil {
+			h.linear = make([]uint64, linearCutoff)
+		}
+		h.linear[v] += n
+		return
+	}
+	b := logBucket(v)
+	if b >= len(h.log) {
+		grown := make([]uint64, b+1)
+		copy(grown, h.log)
+		h.log = grown
+	}
+	h.log[b] += n
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	h.count += other.count
+	h.infinite += other.infinite
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	if other.linear != nil {
+		if h.linear == nil {
+			h.linear = make([]uint64, linearCutoff)
+		}
+		for i, c := range other.linear {
+			h.linear[i] += c
+		}
+	}
+	if len(other.log) > len(h.log) {
+		grown := make([]uint64, len(other.log))
+		copy(grown, h.log)
+		h.log = grown
+	}
+	for i, c := range other.log {
+		h.log[i] += c
+	}
+}
+
+// Count returns the total number of samples, including Infinite ones.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// InfiniteCount returns the number of Infinite samples.
+func (h *Histogram) InfiniteCount() uint64 { return h.infinite }
+
+// Mean returns the mean of the finite samples (0 if none).
+func (h *Histogram) Mean() float64 {
+	finite := h.count - h.infinite
+	if finite == 0 {
+		return 0
+	}
+	return h.sum / float64(finite)
+}
+
+// Max returns the largest finite sample recorded (0 if none).
+func (h *Histogram) Max() int64 { return h.max }
+
+// CountAbove returns the number of samples with value strictly greater than
+// v. Infinite samples always count. Log buckets straddling v contribute a
+// uniform-interpolation fraction.
+func (h *Histogram) CountAbove(v int64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	total := float64(h.infinite)
+	if v < linearCutoff && h.linear != nil {
+		start := v + 1
+		if start < 0 {
+			start = 0
+		}
+		for i := start; i < linearCutoff; i++ {
+			total += float64(h.linear[i])
+		}
+	}
+	for b, c := range h.log {
+		if c == 0 {
+			continue
+		}
+		lo, hi := logBucketBounds(b)
+		switch {
+		case lo > v:
+			total += float64(c)
+		case hi-1 <= v:
+			// whole bucket at or below v
+		default:
+			frac := float64(hi-1-v) / float64(hi-lo)
+			total += float64(c) * frac
+		}
+	}
+	return total
+}
+
+// FracAbove returns the fraction of all samples strictly greater than v.
+func (h *Histogram) FracAbove(v int64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.CountAbove(v) / float64(h.count)
+}
+
+// Quantile returns an approximate q-quantile (q in [0,1]) of the finite
+// samples. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	finite := h.count - h.infinite
+	if finite == 0 {
+		return 0
+	}
+	target := q * float64(finite)
+	acc := 0.0
+	for i := int64(0); i < linearCutoff && h.linear != nil; i++ {
+		acc += float64(h.linear[i])
+		if acc >= target {
+			return i
+		}
+	}
+	for b, c := range h.log {
+		if c == 0 {
+			continue
+		}
+		acc += float64(c)
+		if acc >= target {
+			lo, hi := logBucketBounds(b)
+			return (lo + hi) / 2
+		}
+	}
+	return h.max
+}
+
+// Buckets calls fn for every non-empty bucket with a representative value
+// (exact for linear buckets, midpoint for log buckets) and its count.
+// Infinite samples are reported last with value Infinite.
+func (h *Histogram) Buckets(fn func(value int64, count uint64)) {
+	if h.linear != nil {
+		for i, c := range h.linear {
+			if c > 0 {
+				fn(int64(i), c)
+			}
+		}
+	}
+	for b, c := range h.log {
+		if c > 0 {
+			lo, hi := logBucketBounds(b)
+			fn((lo+hi)/2, c)
+		}
+	}
+	if h.infinite > 0 {
+		fn(Infinite, h.infinite)
+	}
+}
+
+// CCDF returns the complementary CDF sampled at the given points:
+// out[i] = FracAbove(points[i]). Points must be sorted ascending.
+func (h *Histogram) CCDF(points []int64) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = h.FracAbove(p)
+	}
+	return out
+}
+
+// String renders a short human-readable summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{n=%d inf=%d mean=%.1f max=%d}", h.count, h.infinite, h.Mean(), h.max)
+}
+
+// Summary holds basic descriptive statistics of a float64 sample.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	Stddev         float64
+}
+
+// Summarize computes descriptive statistics of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	s.Stddev = math.Sqrt(varsum / float64(len(xs)))
+	return s
+}
+
+// Median returns the median of xs (0 for empty input). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// MeanAbs returns the mean of |xs[i]|.
+func MeanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Abs(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// MaxAbs returns the maximum of |xs[i]|.
+func MaxAbs(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

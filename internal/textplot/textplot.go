@@ -1,0 +1,180 @@
+// Package textplot renders the paper's tables and figures as plain text:
+// horizontal bar charts (Figure 4), paired stacked CPI bars (Figure 5), and
+// ASCII bottle graphs (Figure 6). Everything prints to a strings.Builder so
+// the experiment harnesses can both display and archive results.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+
+	"rppm/internal/bottlegraph"
+	"rppm/internal/interval"
+)
+
+// Bars renders one horizontal bar per (label, value), scaled to maxWidth
+// characters at the largest value. Values are annotated with fmtStr.
+func Bars(labels []string, values []float64, maxWidth int, fmtStr string) string {
+	var b strings.Builder
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(maxWidth))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %s\n", maxL, labels[i],
+			strings.Repeat("#", n), fmt.Sprintf(fmtStr, v))
+	}
+	return b.String()
+}
+
+// GroupedBars renders one group of bars per label (e.g. MAIN/CRIT/RPPM per
+// benchmark), with a shared scale.
+func GroupedBars(labels []string, series []string, values [][]float64, maxWidth int, fmtStr string) string {
+	var b strings.Builder
+	maxV := 0.0
+	for _, row := range values {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	maxS := 0
+	for _, s := range series {
+		if len(s) > maxS {
+			maxS = len(s)
+		}
+	}
+	for li, label := range labels {
+		fmt.Fprintf(&b, "%s\n", label)
+		for si, s := range series {
+			v := values[li][si]
+			n := 0
+			if maxV > 0 {
+				n = int(v / maxV * float64(maxWidth))
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %s\n", maxS, s,
+				strings.Repeat("#", n), fmt.Sprintf(fmtStr, v))
+		}
+	}
+	return b.String()
+}
+
+// componentGlyphs maps CPI-stack components to fill characters, in
+// interval.Stack.Components order.
+var componentGlyphs = []byte{'B', 'b', 'I', '2', '3', 'M', '.'}
+
+// StackBar renders one CPI stack as a proportional glyph string of the
+// given width (normalization is the caller's choice via total).
+func StackBar(st interval.Stack, total float64, width int) string {
+	if total <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	comps := st.Components()
+	for i, c := range comps {
+		n := int(c.Cycles / total * float64(width))
+		b.WriteString(strings.Repeat(string(componentGlyphs[i]), n))
+	}
+	return b.String()
+}
+
+// StackLegend explains the StackBar glyphs.
+func StackLegend() string {
+	return "B=base b=branch I=icache 2=mem-L2 3=mem-LLC M=mem-dram .=sync"
+}
+
+// StackPairs renders, per label, the model stack (left) and the reference
+// stack (right), both normalized to the reference total (the paper's
+// Figure 5 convention: "normalized to simulation").
+func StackPairs(labels []string, model, reference []interval.Stack, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", StackLegend())
+	maxL := 0
+	for _, l := range labels {
+		if len(l) > maxL {
+			maxL = len(l)
+		}
+	}
+	for i, label := range labels {
+		ref := reference[i].TotalCycles()
+		fmt.Fprintf(&b, "%-*s model |%s\n", maxL, label, StackBar(model[i], ref, width))
+		fmt.Fprintf(&b, "%-*s sim   |%s\n", maxL, "", StackBar(reference[i], ref, width))
+	}
+	return b.String()
+}
+
+// Bottle renders a bottle graph as stacked rows, widest box at the bottom.
+// Each box is one row whose bar length is proportional to its width
+// (parallelism) and whose annotation shows height (criticality share).
+func Bottle(g bottlegraph.Graph, maxParallelism int, cols int) string {
+	var b strings.Builder
+	// Top of the stack = narrowest, so iterate in reverse.
+	for i := len(g.Boxes) - 1; i >= 0; i-- {
+		box := g.Boxes[i]
+		w := 0
+		if maxParallelism > 0 {
+			w = int(box.Width / float64(maxParallelism) * float64(cols))
+		}
+		fmt.Fprintf(&b, "  t%d %s width %.2f height %5.1f%%\n",
+			box.Thread, strings.Repeat("=", w), box.Width, box.Height*100)
+	}
+	return b.String()
+}
+
+// SideBySideBottles renders the model and reference bottle graphs of one
+// benchmark next to each other (Figure 6 layout: model left, sim right).
+func SideBySideBottles(name string, model, reference bottlegraph.Graph, maxParallelism int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", name)
+	fmt.Fprintf(&b, " RPPM:\n%s", Bottle(model, maxParallelism, 24))
+	fmt.Fprintf(&b, " simulation:\n%s", Bottle(reference, maxParallelism, 24))
+	return b.String()
+}
+
+// Table renders rows with aligned columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"rppm/internal/bottlegraph"
+	"rppm/internal/interval"
+)
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{1, 2}, 10, "%.0f")
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("largest value not full width:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "a") || !strings.Contains(lines[1], "bb") {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out := Bars([]string{"x"}, []float64{0}, 10, "%.0f")
+	if strings.Contains(out, "#") {
+		t.Fatal("zero value drew a bar")
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	out := GroupedBars([]string{"bench1"}, []string{"MAIN", "RPPM"},
+		[][]float64{{10, 1}}, 20, "%.1f")
+	if !strings.Contains(out, "bench1") || !strings.Contains(out, "MAIN") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// MAIN's bar must be longer than RPPM's.
+	lines := strings.Split(out, "\n")
+	mainLen := strings.Count(lines[1], "#")
+	rppmLen := strings.Count(lines[2], "#")
+	if mainLen <= rppmLen {
+		t.Fatalf("bar lengths not proportional: %d vs %d", mainLen, rppmLen)
+	}
+}
+
+func TestStackBarProportions(t *testing.T) {
+	st := interval.Stack{Base: 50, MemDRAM: 50}
+	bar := StackBar(st, 100, 20)
+	if strings.Count(bar, "B") != 10 || strings.Count(bar, "M") != 10 {
+		t.Fatalf("bar %q not proportional", bar)
+	}
+	if StackBar(st, 0, 20) != "" {
+		t.Fatal("zero total should render empty")
+	}
+}
+
+func TestStackPairsRendersBoth(t *testing.T) {
+	model := []interval.Stack{{Base: 80}}
+	ref := []interval.Stack{{Base: 100}}
+	out := StackPairs([]string{"x"}, model, ref, 10)
+	if !strings.Contains(out, "model") || !strings.Contains(out, "sim") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, StackLegend()) {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestBottleRendering(t *testing.T) {
+	g := bottlegraph.Build([][][2]float64{
+		{{0, 100}}, {{50, 100}},
+	}, 100)
+	out := Bottle(g, 2, 20)
+	if !strings.Contains(out, "t0") || !strings.Contains(out, "t1") {
+		t.Fatalf("threads missing:\n%s", out)
+	}
+	out2 := SideBySideBottles("bench", g, g, 2)
+	if !strings.Contains(out2, "RPPM") || !strings.Contains(out2, "simulation") {
+		t.Fatal("side-by-side labels missing")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "v"}, [][]string{{"long-name", "1"}, {"x", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+rule+2 rows, got %d lines", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatal("rule does not match header width")
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import "testing"
+
+func TestClassStrings(t *testing.T) {
+	for c := 0; c < NumClasses; c++ {
+		if Class(c).String() == "" {
+			t.Fatalf("class %d has empty name", c)
+		}
+	}
+	if Class(200).String() == "" {
+		t.Fatal("out-of-range class should still render")
+	}
+}
+
+func TestExecLatencies(t *testing.T) {
+	if Load.ExecLatency() != 0 {
+		t.Fatal("load latency comes from the memory hierarchy")
+	}
+	if IntALU.ExecLatency() != 1 {
+		t.Fatal("ALU latency should be 1")
+	}
+	if IntDiv.ExecLatency() <= IntMul.ExecLatency() {
+		t.Fatal("divide should be slower than multiply")
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Fatal("loads and stores are memory operations")
+	}
+	if IntALU.IsMem() || Branch.IsMem() {
+		t.Fatal("ALU/branch are not memory operations")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	e := Event{Kind: SyncBarrier, Obj: 3}
+	if e.String() != "barrier(#3)" {
+		t.Fatalf("event string = %q", e.String())
+	}
+	j := Event{Kind: SyncThreadJoin, Arg: 2}
+	if j.String() != "thread-join(t2)" {
+		t.Fatalf("join string = %q", j.String())
+	}
+	x := Event{Kind: SyncThreadExit}
+	if x.String() != "thread-exit" {
+		t.Fatalf("exit string = %q", x.String())
+	}
+}
+
+func TestSliceProgram(t *testing.T) {
+	p := &SliceProgram{
+		ProgName: "toy",
+		Threads: [][]Item{{
+			InstrItem(Instr{Class: IntALU}),
+			InstrItem(Instr{Class: Load}),
+			SyncItem(Event{Kind: SyncThreadExit}),
+		}},
+	}
+	if p.Name() != "toy" || p.NumThreads() != 1 {
+		t.Fatal("program metadata wrong")
+	}
+	instrs, syncs := CountItems(p.Thread(0))
+	if instrs != 2 || syncs != 1 {
+		t.Fatalf("counted %d instrs, %d syncs", instrs, syncs)
+	}
+	// Streams restart.
+	instrs2, _ := CountItems(p.Thread(0))
+	if instrs2 != 2 {
+		t.Fatal("stream did not restart")
+	}
+}
+
+func TestSliceStreamExhaustion(t *testing.T) {
+	s := NewSliceStream(nil)
+	if _, ok := s.Next(); ok {
+		t.Fatal("empty stream returned an item")
+	}
+}

@@ -1,0 +1,285 @@
+// Package workload provides generative multithreaded workloads: deterministic
+// synthetic programs that stand in for the paper's Rodinia and Parsec
+// benchmarks.
+//
+// A workload is assembled from compute Blocks (parameterized instruction
+// stream generators) interleaved with synchronization events. The parameters
+// — instruction mix, dependence distances, data footprints and locality,
+// sharing and write fractions, branch bias, code footprint — are exactly the
+// microarchitecture-independent quantities RPPM profiles, so each benchmark's
+// parameter set determines its position in the design space the same way a
+// real binary's inherent characteristics would.
+package workload
+
+import (
+	"rppm/internal/prng"
+	"rppm/internal/trace"
+)
+
+// Address-space layout: each thread owns a private region, all threads share
+// one region, and code lives in its own region. The regions are far apart so
+// they can never alias.
+const (
+	privateBase = uint64(0x1000_0000_0000)
+	privateSpan = uint64(1) << 36 // per-thread private region stride
+	sharedBase  = uint64(0x2000_0000_0000)
+	codeBase    = uint64(0x4000_0000_0000)
+	codeSpan    = uint64(1) << 24 // per-code-region stride
+	lineBytes   = 64
+	instrBytes  = 4
+)
+
+// Mix is an instruction-class mixture. Weights need not sum to one; they are
+// normalized when the block is instantiated.
+type Mix struct {
+	IntALU, IntMul, IntDiv float64
+	FPAdd, FPMul, FPDiv    float64
+	Load, Store, Branch    float64
+}
+
+func (m Mix) weights() []float64 {
+	return []float64{m.IntALU, m.IntMul, m.IntDiv, m.FPAdd, m.FPMul, m.FPDiv, m.Load, m.Store, m.Branch}
+}
+
+// MixInt returns a typical integer-dominated mix.
+func MixInt() Mix {
+	return Mix{IntALU: 0.42, IntMul: 0.02, Load: 0.25, Store: 0.12, Branch: 0.19}
+}
+
+// MixFP returns a floating-point-dominated mix.
+func MixFP() Mix {
+	return Mix{IntALU: 0.20, FPAdd: 0.18, FPMul: 0.16, FPDiv: 0.01, Load: 0.27, Store: 0.10, Branch: 0.08}
+}
+
+// MixStream returns a memory-streaming mix.
+func MixStream() Mix {
+	return Mix{IntALU: 0.25, FPAdd: 0.12, Load: 0.38, Store: 0.15, Branch: 0.10}
+}
+
+// Block parameterizes one compute region of a thread.
+type Block struct {
+	// N is the number of dynamic instructions (before builder scaling).
+	N int
+
+	// Mix is the instruction-class mixture.
+	Mix Mix
+
+	// DepMean is the mean producer-consumer register dependence distance in
+	// instructions (geometrically distributed, >= 1). Small values mean long
+	// dependence chains and low ILP.
+	DepMean float64
+
+	// LoadChainFrac is the fraction of loads that source the previous
+	// load's destination (pointer chasing); it throttles MLP.
+	LoadChainFrac float64
+
+	// Data footprints and locality.
+	PrivateBytes uint64  // private data region size
+	HotBytes     uint64  // hot private subset (0 disables)
+	HotFrac      float64 // fraction of private refs hitting the hot subset
+	SharedBytes  uint64  // shared region size (shared by all threads)
+	SharedFrac   float64 // fraction of memory refs to the shared region
+	SeqFrac      float64 // fraction of refs that continue sequentially (spatial locality)
+
+	// Code footprint: number of distinct 64-byte instruction lines the block
+	// loops over. Blocks with equal CodeID share their code region.
+	CodeLines int
+	CodeID    int
+
+	// Branch behaviour: BranchSites static sites; a site's probability of
+	// its biased direction is BranchBias, except a RandomFrac fraction of
+	// sites that are 50/50 (data-dependent branches).
+	BranchSites int
+	BranchBias  float64
+	RandomFrac  float64
+}
+
+// withDefaults fills zero-valued fields with safe defaults so that sparse
+// literals in the suite stay readable.
+func (b Block) withDefaults() Block {
+	if b.DepMean <= 0 {
+		b.DepMean = 6
+	}
+	if b.PrivateBytes == 0 {
+		b.PrivateBytes = 64 << 10
+	}
+	if b.SeqFrac == 0 {
+		b.SeqFrac = 0.4
+	}
+	if b.CodeLines <= 0 {
+		b.CodeLines = 32
+	}
+	if b.BranchSites <= 0 {
+		b.BranchSites = 16
+	}
+	if b.BranchBias <= 0 {
+		b.BranchBias = 0.95
+	}
+	w := b.Mix.weights()
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if total == 0 {
+		b.Mix = MixInt()
+	}
+	return b
+}
+
+// blockGen generates the instruction stream of one Block instance.
+type blockGen struct {
+	b       Block
+	rng     *prng.Source
+	weights []float64
+
+	tid        int
+	count      int // instructions emitted so far
+	remaining  int
+	codeInstrs int
+	codePhase  int // starting offset into the code region for this instance
+	codeRegion uint64
+
+	lastPriv    uint64 // last private address (for sequential locality)
+	lastShared  uint64
+	lastLoadDst int8
+}
+
+// newBlockGen instantiates a generator. n is the scaled instruction count.
+func newBlockGen(b Block, tid, n int, seed uint64) *blockGen {
+	b = b.withDefaults()
+	g := &blockGen{
+		b:           b,
+		rng:         prng.New(seed),
+		weights:     b.Mix.weights(),
+		tid:         tid,
+		remaining:   n,
+		codeInstrs:  b.CodeLines * (lineBytes / instrBytes),
+		codeRegion:  codeBase + uint64(b.CodeID)*codeSpan,
+		lastLoadDst: -1,
+	}
+	// Each block instance starts at a seed-derived phase into its code
+	// region, so successive instances of a large-code block exercise
+	// different windows of the footprint (as different call paths through a
+	// big binary would) instead of replaying the same prefix.
+	g.codePhase = int(seed>>17) % g.codeInstrs
+	g.lastPriv = g.privBase()
+	g.lastShared = sharedBase
+	return g
+}
+
+func (g *blockGen) privBase() uint64 {
+	return privateBase + uint64(g.tid)*privateSpan
+}
+
+// done reports whether the block is exhausted.
+func (g *blockGen) done() bool { return g.remaining <= 0 }
+
+// branchSiteProb returns the deterministic taken-probability of a static
+// branch site. Sites alternate bias direction; a RandomFrac prefix of the
+// site space is 50/50.
+func (g *blockGen) branchSiteProb(site int) float64 {
+	if float64(site) < g.b.RandomFrac*float64(g.b.BranchSites) {
+		return 0.5
+	}
+	if site%2 == 0 {
+		return g.b.BranchBias
+	}
+	return 1 - g.b.BranchBias
+}
+
+// genAddr produces the next data address (line-aligned).
+func (g *blockGen) genAddr() uint64 {
+	shared := g.b.SharedBytes > 0 && g.rng.Bool(g.b.SharedFrac)
+	if shared {
+		if g.rng.Bool(g.b.SeqFrac) {
+			g.lastShared += lineBytes
+			if g.lastShared >= sharedBase+g.b.SharedBytes {
+				g.lastShared = sharedBase
+			}
+			return g.lastShared
+		}
+		lines := g.b.SharedBytes / lineBytes
+		a := sharedBase + g.rng.Uint64n(lines)*lineBytes
+		g.lastShared = a
+		return a
+	}
+	base := g.privBase()
+	if g.rng.Bool(g.b.SeqFrac) {
+		g.lastPriv += lineBytes
+		if g.lastPriv >= base+g.b.PrivateBytes {
+			g.lastPriv = base
+		}
+		return g.lastPriv
+	}
+	if g.b.HotBytes > 0 && g.rng.Bool(g.b.HotFrac) {
+		lines := g.b.HotBytes / lineBytes
+		a := base + g.rng.Uint64n(lines)*lineBytes
+		g.lastPriv = a
+		return a
+	}
+	lines := g.b.PrivateBytes / lineBytes
+	a := base + g.rng.Uint64n(lines)*lineBytes
+	g.lastPriv = a
+	return a
+}
+
+// next emits the next instruction. Callers must check done() first.
+func (g *blockGen) next() trace.Instr {
+	cls := trace.Class(g.rng.Pick(g.weights))
+	in := trace.Instr{Class: cls}
+
+	// Register dependences: instruction i writes register i mod NumRegs, so
+	// "the register written d instructions ago" is (i-d) mod NumRegs. The
+	// dependence distance is geometric with mean DepMean.
+	in.Dst = int8(g.count % trace.NumRegs)
+	d1 := g.rng.Geometric(1 / g.b.DepMean)
+	if d1 > g.count {
+		d1 = g.count
+	}
+	if d1 >= trace.NumRegs {
+		d1 = trace.NumRegs - 1
+	}
+	if d1 >= 1 {
+		in.Src1 = int8(((g.count-d1)%trace.NumRegs + trace.NumRegs) % trace.NumRegs)
+	} else {
+		in.Src1 = -1
+	}
+	if g.rng.Bool(0.5) {
+		d2 := g.rng.Geometric(1 / g.b.DepMean)
+		if d2 > g.count {
+			d2 = g.count
+		}
+		if d2 >= trace.NumRegs {
+			d2 = trace.NumRegs - 1
+		}
+		if d2 >= 1 {
+			in.Src2 = int8(((g.count-d2)%trace.NumRegs + trace.NumRegs) % trace.NumRegs)
+		} else {
+			in.Src2 = -1
+		}
+	} else {
+		in.Src2 = -1
+	}
+
+	pcIndex := (g.codePhase + g.count) % g.codeInstrs
+	in.PC = g.codeRegion + uint64(pcIndex)*instrBytes
+
+	switch {
+	case cls.IsMem():
+		in.Addr = g.genAddr()
+		if cls == trace.Load {
+			if g.lastLoadDst >= 0 && g.rng.Bool(g.b.LoadChainFrac) {
+				in.Src1 = g.lastLoadDst // pointer chase: depend on previous load
+			}
+			g.lastLoadDst = in.Dst
+		}
+	case cls == trace.Branch:
+		site := pcIndex % g.b.BranchSites
+		in.BranchID = uint16(g.b.CodeID*1024 + site)
+		in.Taken = g.rng.Bool(g.branchSiteProb(site))
+	}
+
+	g.count++
+	g.remaining--
+	return in
+}

@@ -1,0 +1,120 @@
+// Package rppm is the public API of the RPPM reproduction: rapid
+// performance prediction of multithreaded workloads on multicore
+// processors (De Pestel, Van den Steen, Akram, Eeckhout — ISPASS 2019).
+//
+// The typical flow mirrors the paper's Figure 1:
+//
+//	bench, _ := rppm.BenchmarkByName("streamcluster")
+//	prog := bench.Build(1, 1.0)
+//
+//	profile, _ := rppm.Profile(prog)          // one-time profiling cost
+//	for _, cfg := range rppm.DesignSpace() {  // many predictions per profile
+//		pred, _ := rppm.Predict(profile, cfg)
+//		fmt.Println(cfg.Name, pred.Seconds)
+//	}
+//
+//	golden, _ := rppm.Simulate(prog, rppm.BaseConfig()) // cycle-level reference
+//
+// The profile contains only microarchitecture-independent characteristics
+// (instruction mix, dependence micro-traces, branch statistics, per-thread
+// and global reuse distances, the synchronization event stream), so a
+// single profile serves predictions across pipeline widths, buffer sizes,
+// cache hierarchies, branch predictors and clock frequencies.
+package rppm
+
+import (
+	"rppm/internal/arch"
+	"rppm/internal/bottlegraph"
+	"rppm/internal/core"
+	"rppm/internal/interval"
+	"rppm/internal/profiler"
+	"rppm/internal/sim"
+	"rppm/internal/trace"
+	"rppm/internal/workload"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Config is a multicore processor configuration (pipeline, caches,
+	// branch predictor, frequency).
+	Config = arch.Config
+	// Program is a restartable multithreaded workload.
+	Program = trace.Program
+	// WorkloadProfile is a microarchitecture-independent workload profile.
+	WorkloadProfile = profiler.Profile
+	// Prediction is RPPM's predicted execution behaviour.
+	Prediction = core.Prediction
+	// SimResult is the cycle-level simulator's measured behaviour.
+	SimResult = sim.Result
+	// CPIStack is a cycles-per-instruction breakdown.
+	CPIStack = interval.Stack
+	// Benchmark is a named buildable workload from the built-in suite.
+	Benchmark = workload.Benchmark
+	// BottleGraph visualizes per-thread criticality and parallelism.
+	BottleGraph = bottlegraph.Graph
+)
+
+// BaseConfig returns the paper's base configuration: a quad-core 2.5 GHz
+// 4-wide out-of-order processor (Table IV, middle column).
+func BaseConfig() Config { return arch.Base() }
+
+// DesignSpace returns the five Table IV design points (smallest..biggest),
+// all with equal peak operations per second.
+func DesignSpace() []Config { return arch.DesignSpace() }
+
+// Benchmarks returns the built-in 26-benchmark suite: 16 Rodinia-like
+// (OpenMP-style, barrier-synchronized) and 10 Parsec-like (pthread-style)
+// workloads.
+func Benchmarks() []Benchmark { return workload.Suite() }
+
+// BenchmarkByName looks up a built-in benchmark.
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// Profile collects a program's microarchitecture-independent profile: the
+// one-time cost after which any number of configurations can be predicted.
+func Profile(p Program) (*WorkloadProfile, error) {
+	return profiler.Run(p, profiler.Options{})
+}
+
+// Predict runs the RPPM model: per-epoch interval-model predictions for
+// every thread followed by symbolic execution of the synchronization
+// events.
+func Predict(prof *WorkloadProfile, cfg Config) (*Prediction, error) {
+	return core.Predict(prof, cfg)
+}
+
+// PredictMain and PredictCrit are the paper's naive baselines: modeling
+// only the main thread, or modeling all threads and taking the slowest.
+// Both return predicted cycles.
+func PredictMain(prof *WorkloadProfile, cfg Config) (float64, error) {
+	return core.PredictMain(prof, cfg)
+}
+
+// PredictCrit is the CRIT baseline; see PredictMain.
+func PredictCrit(prof *WorkloadProfile, cfg Config) (float64, error) {
+	return core.PredictCrit(prof, cfg)
+}
+
+// Simulate runs the cycle-level multicore reference simulator (the
+// repository's Sniper stand-in) on the program.
+func Simulate(p Program, cfg Config) (*SimResult, error) {
+	return sim.Run(p, cfg)
+}
+
+// BottleGraphOf builds a bottle graph from a prediction.
+func BottleGraphOf(pred *Prediction) BottleGraph {
+	ivs := make([][][2]float64, len(pred.Threads))
+	for t := range pred.Threads {
+		ivs[t] = pred.Threads[t].ActiveIntervals
+	}
+	return bottlegraph.Build(ivs, pred.Cycles)
+}
+
+// BottleGraphOfSim builds a bottle graph from a simulation result.
+func BottleGraphOfSim(res *SimResult) BottleGraph {
+	ivs := make([][][2]float64, len(res.Threads))
+	for t := range res.Threads {
+		ivs[t] = res.Threads[t].ActiveIntervals
+	}
+	return bottlegraph.Build(ivs, res.Cycles)
+}

@@ -1,0 +1,113 @@
+package rppm_test
+
+import (
+	"math"
+	"testing"
+
+	"rppm"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	bench, err := rppm.BenchmarkByName("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := rppm.Profile(bench.Build(1, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := rppm.Predict(profile, rppm.BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := rppm.Simulate(bench.Build(1, 0.05), rppm.BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := math.Abs(pred.Cycles-golden.Cycles) / golden.Cycles
+	if e > 0.5 {
+		t.Fatalf("prediction error %.0f%% at quickstart scale", e*100)
+	}
+}
+
+func TestProfileReuseAcrossConfigs(t *testing.T) {
+	bench, err := rppm.BenchmarkByName("lud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := rppm.Profile(bench.Build(1, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := rppm.DesignSpace()
+	if len(space) != 5 {
+		t.Fatalf("design space has %d points", len(space))
+	}
+	seen := map[float64]bool{}
+	for _, cfg := range space {
+		pred, err := rppm.Predict(profile, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if pred.Seconds <= 0 {
+			t.Fatalf("%s: non-positive time", cfg.Name)
+		}
+		seen[pred.Seconds] = true
+	}
+	if len(seen) < 3 {
+		t.Fatal("predictions do not differentiate design points")
+	}
+}
+
+func TestBaselinesOrdering(t *testing.T) {
+	bench, _ := rppm.BenchmarkByName("swaptions")
+	profile, err := rppm.Profile(bench.Build(1, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainC, err := rppm.PredictMain(profile, rppm.BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	critC, err := rppm.PredictCrit(profile, rppm.BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if critC < mainC {
+		t.Fatalf("CRIT (%v) below MAIN (%v)", critC, mainC)
+	}
+}
+
+func TestBottleGraphs(t *testing.T) {
+	bench, _ := rppm.BenchmarkByName("vips")
+	prog := bench.Build(1, 0.05)
+	profile, err := rppm.Profile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := rppm.Predict(profile, rppm.BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := rppm.Simulate(prog, rppm.BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg := rppm.BottleGraphOf(pred)
+	sg := rppm.BottleGraphOfSim(simRes)
+	if mg.TotalHeight() <= 0 || sg.TotalHeight() <= 0 {
+		t.Fatal("empty bottle graphs")
+	}
+	// vips is a group-3 benchmark: a worker, not the orchestrating main
+	// thread, is the bottleneck — in both views.
+	if mg.Bottleneck() == 0 || sg.Bottleneck() == 0 {
+		t.Fatalf("main thread reported as bottleneck (model t%d, sim t%d)",
+			mg.Bottleneck(), sg.Bottleneck())
+	}
+}
+
+func TestSuiteIs26Benchmarks(t *testing.T) {
+	if n := len(rppm.Benchmarks()); n != 26 {
+		t.Fatalf("suite has %d benchmarks, want 26", n)
+	}
+}
