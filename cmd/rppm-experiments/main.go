@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	rppm-experiments [-scale 0.3] [-seed 1] [experiment...]
+//	rppm-experiments [-scale 0.3] [-seed 1] [-parallel N] [-progress] [experiment...]
 //
 // With no arguments it runs everything. Experiment names: table1 table2
 // table3 table4 table5 fig4 fig5 fig6 ablations.
+//
+// All experiments share one engine session: every benchmark is built,
+// profiled and simulated at most once per (seed, scale, config) for the
+// whole invocation, and independent (benchmark × config) jobs fan out over
+// -parallel workers (default: GOMAXPROCS).
 package main
 
 import (
@@ -15,15 +20,31 @@ import (
 	"os"
 	"time"
 
+	"rppm"
 	"rppm/internal/experiments"
 )
 
 func main() {
 	scale := flag.Float64("scale", 0.3, "workload scale factor (1.0 = full size)")
 	seed := flag.Uint64("seed", 1, "workload generation seed")
+	parallel := flag.Int("parallel", 0, "max concurrent profile/simulate/predict jobs (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "log every completed profile/simulation to stderr")
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if *scale <= 0 {
+		fmt.Fprintln(os.Stderr, "rppm-experiments: -scale must be positive")
+		os.Exit(2)
+	}
+	opts := rppm.EngineOptions{Workers: *parallel}
+	if *progress {
+		opts.Progress = func(ev rppm.EngineEvent) {
+			fmt.Fprintf(os.Stderr, "# %-8s %-16s %-10s %6.2fs\n",
+				ev.Kind, ev.Bench, ev.Config, ev.Duration.Seconds())
+		}
+	}
+	session := rppm.NewEngine(opts).NewSession()
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Session: session}
+
 	which := flag.Args()
 	if len(which) == 0 {
 		which = []string{"table1", "table2", "table3", "table4", "table5", "fig4", "fig5", "fig6", "ablations"}

@@ -9,10 +9,12 @@
 //	rppm compare  -bench NAME [flags]  # MAIN/CRIT/RPPM vs simulation
 //	rppm bottle   -bench NAME [flags]  # bottle graphs (model vs simulation)
 //
-// Common flags: -config (smallest|small|base|big|biggest), -scale, -seed.
+// Common flags: -config (smallest|small|base|big|biggest), -scale, -seed,
+// -parallel.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +35,7 @@ func main() {
 	configName := fs.String("config", "base", "target configuration name")
 	scale := fs.Float64("scale", 0.3, "workload scale factor (1.0 = full size)")
 	seed := fs.Uint64("seed", 1, "workload generation seed")
+	parallel := fs.Int("parallel", 0, "max concurrent profile/simulate jobs (0 = GOMAXPROCS)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -48,7 +51,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := run(cmd, *benchName, cfg, *scale, *seed); err != nil {
+		if *scale <= 0 {
+			fatal(fmt.Errorf("-scale must be positive, got %v", *scale))
+		}
+		session := rppm.NewEngine(rppm.EngineOptions{Workers: *parallel}).NewSession()
+		if err := run(session, cmd, *benchName, cfg, *scale, *seed); err != nil {
 			fatal(err)
 		}
 	default:
@@ -58,7 +65,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle} [-bench NAME] [-config base] [-scale 0.3] [-seed 1]")
+	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle} [-bench NAME] [-config base] [-scale 0.3] [-seed 1] [-parallel N]")
 }
 
 func fatal(err error) {
@@ -93,16 +100,19 @@ func list() {
 	fmt.Print(textplot.Table([]string{"name", "clock", "pipeline", "window"}, crows))
 }
 
-func run(cmd, benchName string, cfg arch.Config, scale float64, seed uint64) error {
+// run drives one subcommand through the engine session: the workload is
+// built once and shared by the profiler and the simulator, and independent
+// stages (e.g. compare's profile and simulation) run concurrently.
+func run(s *rppm.Session, cmd, benchName string, cfg arch.Config, scale float64, seed uint64) error {
 	bench, err := rppm.BenchmarkByName(benchName)
 	if err != nil {
 		return err
 	}
-	prog := bench.Build(seed, scale)
+	ctx := context.Background()
 
 	switch cmd {
 	case "simulate":
-		res, err := rppm.Simulate(prog, cfg)
+		res, err := s.Simulate(ctx, bench, seed, scale, cfg)
 		if err != nil {
 			return err
 		}
@@ -115,11 +125,7 @@ func run(cmd, benchName string, cfg arch.Config, scale float64, seed uint64) err
 		return nil
 
 	case "predict":
-		prof, err := rppm.Profile(prog)
-		if err != nil {
-			return err
-		}
-		pred, err := rppm.Predict(prof, cfg)
+		pred, err := s.Predict(ctx, bench, seed, scale, cfg)
 		if err != nil {
 			return err
 		}
@@ -132,23 +138,24 @@ func run(cmd, benchName string, cfg arch.Config, scale float64, seed uint64) err
 		return nil
 
 	case "compare":
-		prof, err := rppm.Profile(prog)
-		if err != nil {
+		var (
+			simRes       *rppm.SimResult
+			pred         *rppm.Prediction
+			mainC, critC float64
+		)
+		err := s.ForEach(ctx, 4, func(ctx context.Context, i int) (err error) {
+			switch i {
+			case 0:
+				simRes, err = s.Simulate(ctx, bench, seed, scale, cfg)
+			case 1:
+				mainC, err = s.PredictMain(ctx, bench, seed, scale, cfg)
+			case 2:
+				critC, err = s.PredictCrit(ctx, bench, seed, scale, cfg)
+			case 3:
+				pred, err = s.Predict(ctx, bench, seed, scale, cfg)
+			}
 			return err
-		}
-		simRes, err := rppm.Simulate(bench.Build(seed, scale), cfg)
-		if err != nil {
-			return err
-		}
-		mainC, err := rppm.PredictMain(prof, cfg)
-		if err != nil {
-			return err
-		}
-		critC, err := rppm.PredictCrit(prof, cfg)
-		if err != nil {
-			return err
-		}
-		pred, err := rppm.Predict(prof, cfg)
+		})
 		if err != nil {
 			return err
 		}
@@ -166,15 +173,18 @@ func run(cmd, benchName string, cfg arch.Config, scale float64, seed uint64) err
 		return nil
 
 	case "bottle":
-		prof, err := rppm.Profile(prog)
-		if err != nil {
+		var (
+			simRes *rppm.SimResult
+			pred   *rppm.Prediction
+		)
+		err := s.ForEach(ctx, 2, func(ctx context.Context, i int) (err error) {
+			if i == 0 {
+				pred, err = s.Predict(ctx, bench, seed, scale, cfg)
+			} else {
+				simRes, err = s.Simulate(ctx, bench, seed, scale, cfg)
+			}
 			return err
-		}
-		pred, err := rppm.Predict(prof, cfg)
-		if err != nil {
-			return err
-		}
-		simRes, err := rppm.Simulate(bench.Build(seed, scale), cfg)
+		})
 		if err != nil {
 			return err
 		}

@@ -7,9 +7,15 @@
 // (expensive), after which each additional design point costs only an
 // analytical evaluation (microseconds to milliseconds), while each
 // simulator run costs orders of magnitude more.
+//
+// The engine session makes that workflow concrete: Profile runs once and
+// is cached; the per-design-point predictions and verification simulations
+// fan out across -parallel workers, with results identical to a serial run.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -18,15 +24,19 @@ import (
 )
 
 func main() {
+	parallel := flag.Int("parallel", 0, "max concurrent jobs (0 = GOMAXPROCS)")
+	flag.Parse()
+
 	bench, err := rppm.BenchmarkByName("kmeans")
 	if err != nil {
 		log.Fatal(err)
 	}
 	const seed, scale = 1, 0.3
+	ctx := context.Background()
+	session := rppm.NewEngine(rppm.EngineOptions{Workers: *parallel}).NewSession()
 
 	start := time.Now()
-	profile, err := rppm.Profile(bench.Build(seed, scale))
-	if err != nil {
+	if _, err := session.Profile(ctx, bench, seed, scale); err != nil {
 		log.Fatal(err)
 	}
 	profCost := time.Since(start)
@@ -35,30 +45,51 @@ func main() {
 		bench.Name, profCost.Round(time.Millisecond))
 	fmt.Printf("%-10s %-28s %14s %14s\n", "config", "core", "predicted", "simulated")
 
+	space := rppm.DesignSpace()
+	type point struct {
+		pred     *rppm.Prediction
+		sim      *rppm.SimResult
+		predCost time.Duration
+	}
+	points := make([]point, len(space))
+	// Predictions are analytical and near-free: run them serially so the
+	// printed per-point cost is the model evaluation itself, not pool
+	// queueing behind the simulations.
+	for i, cfg := range space {
+		t0 := time.Now()
+		pred, err := session.Predict(ctx, bench, seed, scale, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		points[i].pred = pred
+		points[i].predCost = time.Since(t0)
+	}
+	// The expensive verification simulations fan out across the pool.
+	err = session.ForEach(ctx, len(space), func(ctx context.Context, i int) error {
+		golden, err := session.Simulate(ctx, bench, seed, scale, space[i])
+		if err != nil {
+			return err
+		}
+		points[i].sim = golden
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var predBest, simBest string
 	var predBestT, simBestT float64
-	for _, cfg := range rppm.DesignSpace() {
-		t0 := time.Now()
-		pred, err := rppm.Predict(profile, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		predCost := time.Since(t0)
-
-		golden, err := rppm.Simulate(bench.Build(seed, scale), cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-
+	for i, cfg := range space {
+		p := points[i]
 		fmt.Printf("%-10s %.2f GHz, width %d, ROB %3d %11.3fms %11.3fms   (prediction took %v)\n",
 			cfg.Name, cfg.FrequencyGHz, cfg.DispatchWidth, cfg.ROBSize,
-			pred.Seconds*1e3, golden.Seconds*1e3, predCost.Round(time.Microsecond))
+			p.pred.Seconds*1e3, p.sim.Seconds*1e3, p.predCost.Round(time.Microsecond))
 
-		if predBest == "" || pred.Seconds < predBestT {
-			predBest, predBestT = cfg.Name, pred.Seconds
+		if predBest == "" || p.pred.Seconds < predBestT {
+			predBest, predBestT = cfg.Name, p.pred.Seconds
 		}
-		if simBest == "" || golden.Seconds < simBestT {
-			simBest, simBestT = cfg.Name, golden.Seconds
+		if simBest == "" || p.sim.Seconds < simBestT {
+			simBest, simBestT = cfg.Name, p.sim.Seconds
 		}
 	}
 

@@ -1,0 +1,3 @@
+module rppm
+
+go 1.22

@@ -1,0 +1,131 @@
+// Package engine is the concurrent experiment-orchestration layer: it owns
+// the profile→predict→simulate pipeline that every entry point (the public
+// rppm API, cmd/rppm, cmd/rppm-experiments, the examples and the
+// experiments harnesses) drives.
+//
+// The engine provides two things the paper's "profile once, predict many"
+// promise needs at system scale:
+//
+//   - A bounded worker pool: heavy jobs (workload profiling, cycle-level
+//     simulation, model prediction) fan out across goroutines but never
+//     exceed the configured parallelism, so a full-suite evaluation runs as
+//     fast as the hardware allows without oversubscribing it.
+//
+//   - A keyed, singleflight-style result cache (Session): each
+//     (benchmark, seed, scale) is built and profiled exactly once, and each
+//     (benchmark, seed, scale, config) is simulated and predicted exactly
+//     once, no matter how many tables, figures or ablations ask for it
+//     concurrently. Duplicate requests block on the in-flight computation
+//     instead of repeating it.
+//
+// Parallelism never changes results: the engine parallelizes across
+// independent jobs, never inside one, and every job is a deterministic pure
+// function of its inputs, so parallel runs are bit-identical to serial
+// ones (see TestParallelMatchesSerial).
+package engine
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"rppm/internal/profiler"
+)
+
+// EventKind identifies the pipeline stage a progress Event reports.
+type EventKind int
+
+const (
+	// EventBuild: a workload was instantiated from its generator.
+	EventBuild EventKind = iota
+	// EventProfile: a microarchitecture-independent profile was collected.
+	EventProfile
+	// EventSimulate: a cycle-level reference simulation completed.
+	EventSimulate
+	// EventPredict: an RPPM (or MAIN/CRIT baseline) prediction completed.
+	EventPredict
+)
+
+var eventNames = [...]string{"build", "profile", "simulate", "predict"}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one completed (non-cached) unit of work. Cache hits do not emit
+// events, so a sink counting EventProfile events observes exactly how many
+// times the profiler actually ran.
+type Event struct {
+	Kind     EventKind
+	Bench    string
+	Config   string // target configuration name (simulate/predict only)
+	Seed     uint64
+	Scale    float64
+	Duration time.Duration
+}
+
+// ProgressFunc receives progress events. It may be called concurrently from
+// multiple worker goroutines and must be safe for concurrent use.
+type ProgressFunc func(Event)
+
+// Options configure an Engine. The zero value selects defaults.
+type Options struct {
+	// Workers bounds the number of concurrently executing heavy jobs
+	// (profiling, simulation, prediction). Zero or negative selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Profiler sets the default profiling options used by Session.Profile.
+	// The zero value selects the profiler's defaults.
+	Profiler profiler.Options
+	// Progress, when non-nil, receives an Event for every completed
+	// non-cached unit of work.
+	Progress ProgressFunc
+}
+
+// Engine owns the worker pool. Sessions created from the same engine share
+// its concurrency budget but have independent caches.
+type Engine struct {
+	opts  Options
+	slots chan struct{}
+}
+
+// New creates an engine with the given options.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{opts: opts, slots: make(chan struct{}, w)}
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return cap(e.slots) }
+
+// ProfilerOptions returns the engine's default profiling options.
+func (e *Engine) ProfilerOptions() profiler.Options { return e.opts.Profiler }
+
+// acquire claims a worker slot, or fails when ctx is done first. Slots are
+// only held around leaf computations (never while waiting on another cache
+// entry), so slot acquisition cannot deadlock.
+func (e *Engine) acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case e.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() { <-e.slots }
+
+func (e *Engine) emit(ev Event) {
+	if e.opts.Progress != nil {
+		e.opts.Progress(ev)
+	}
+}

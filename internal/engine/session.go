@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"rppm/internal/arch"
+	"rppm/internal/core"
+	"rppm/internal/interval"
+	"rppm/internal/profiler"
+	"rppm/internal/sim"
+	"rppm/internal/trace"
+	"rppm/internal/workload"
+)
+
+// Key identifies one workload instantiation: benchmarks are keyed by name,
+// so two Benchmark values with the same name are assumed interchangeable
+// (true for the built-in suite, whose generators are pure functions of
+// (seed, scale)).
+type Key struct {
+	Bench string
+	Seed  uint64
+	Scale float64
+}
+
+// progKey, profKey, simKey and predKey key the session caches. All are
+// comparable value types so they work as map keys directly.
+type progKey struct{ Key }
+
+type profKey struct {
+	Key
+	Opts profiler.Options
+}
+
+type simKey struct {
+	Key
+	Cfg arch.Config
+}
+
+type predKind int
+
+const (
+	predRPPM predKind = iota
+	predMain
+	predCrit
+)
+
+type predKey struct {
+	Key
+	Cfg   arch.Config
+	Opts  profiler.Options
+	Model interval.ModelOptions
+	Kind  predKind
+}
+
+// entry is one singleflight cache slot: the first requester computes, every
+// other requester waits on done.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Session is a shared profile/simulation/prediction cache on top of an
+// Engine's worker pool. All methods are safe for concurrent use; results
+// for equal keys are computed exactly once per session.
+//
+// A session never evicts: it is meant to live for one run (one CLI
+// invocation, one test binary, one evaluation sweep), not forever.
+type Session struct {
+	eng *Engine
+
+	mu      sync.Mutex
+	entries map[any]*entry
+}
+
+// NewSession creates an empty session backed by the engine's worker pool.
+func (e *Engine) NewSession() *Session {
+	return &Session{eng: e, entries: make(map[any]*entry)}
+}
+
+// Engine returns the engine this session schedules on.
+func (s *Session) Engine() *Engine { return s.eng }
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// do returns the cached value for k, computing it via fn exactly once.
+// Duplicate callers block until the in-flight computation finishes (or
+// their own ctx is done). Entries that failed due to context cancellation
+// are forgotten — the entry is removed before done is closed — so both a
+// later call and a waiter with a live context recompute them instead of
+// inheriting another caller's cancellation.
+func (s *Session) do(ctx context.Context, k any, fn func(context.Context) (any, error)) (any, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		en, ok := s.entries[k]
+		if !ok {
+			en = &entry{done: make(chan struct{})}
+			s.entries[k] = en
+			s.mu.Unlock()
+			en.val, en.err = fn(ctx)
+			if en.err != nil && isCtxErr(en.err) {
+				s.mu.Lock()
+				delete(s.entries, k)
+				s.mu.Unlock()
+			}
+			close(en.done)
+			return en.val, en.err
+		}
+		s.mu.Unlock()
+		select {
+		case <-en.done:
+			if en.err != nil && isCtxErr(en.err) {
+				continue // the computing caller was canceled, not us: retry
+			}
+			return en.val, en.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Program returns the instantiated workload for (bm, seed, scale), building
+// it at most once per session. The returned program is immutable and
+// restartable, so the profiler and the simulator can share it.
+func (s *Session) Program(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64) (trace.Program, error) {
+	v, err := s.do(ctx, progKey{Key{bm.Name, seed, scale}}, func(ctx context.Context) (any, error) {
+		if err := s.eng.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.eng.release()
+		start := time.Now()
+		p := bm.Build(seed, scale)
+		s.eng.emit(Event{Kind: EventBuild, Bench: bm.Name, Seed: seed, Scale: scale,
+			Duration: time.Since(start)})
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(trace.Program), nil
+}
+
+// Profile returns the microarchitecture-independent profile of
+// (bm, seed, scale) under the engine's default profiler options, collecting
+// it at most once per session.
+func (s *Session) Profile(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64) (*profiler.Profile, error) {
+	return s.ProfileOpts(ctx, bm, seed, scale, s.eng.opts.Profiler)
+}
+
+// ProfileOpts is Profile with explicit profiler options (used by the
+// ablation studies, which profile with individual mechanisms disabled).
+// Profiles with different options are cached independently.
+func (s *Session) ProfileOpts(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, opts profiler.Options) (*profiler.Profile, error) {
+	v, err := s.do(ctx, profKey{Key{bm.Name, seed, scale}, opts}, func(ctx context.Context) (any, error) {
+		prog, err := s.Program(ctx, bm, seed, scale)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.eng.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.eng.release()
+		start := time.Now()
+		prof, err := profiler.Run(prog, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.eng.emit(Event{Kind: EventProfile, Bench: bm.Name, Seed: seed, Scale: scale,
+			Duration: time.Since(start)})
+		return prof, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*profiler.Profile), nil
+}
+
+// Simulate returns the cycle-level reference simulation of (bm, seed,
+// scale) on cfg, running it at most once per session and configuration.
+func (s *Session) Simulate(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config) (*sim.Result, error) {
+	v, err := s.do(ctx, simKey{Key{bm.Name, seed, scale}, cfg}, func(ctx context.Context) (any, error) {
+		prog, err := s.Program(ctx, bm, seed, scale)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.eng.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.eng.release()
+		start := time.Now()
+		res, err := sim.Run(prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.eng.emit(Event{Kind: EventSimulate, Bench: bm.Name, Config: cfg.Name,
+			Seed: seed, Scale: scale, Duration: time.Since(start)})
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sim.Result), nil
+}
+
+// Predict returns the RPPM prediction for (bm, seed, scale) on cfg,
+// profiling the workload first if the session has not yet done so.
+func (s *Session) Predict(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config) (*core.Prediction, error) {
+	return s.PredictModel(ctx, bm, seed, scale, cfg, s.eng.opts.Profiler, interval.ModelOptions{})
+}
+
+// PredictModel is Predict with explicit profiler and interval-model
+// options: the ablation studies disable individual profiling or model
+// mechanisms. Each options combination is cached independently.
+func (s *Session) PredictModel(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config, profOpts profiler.Options, modelOpts interval.ModelOptions) (*core.Prediction, error) {
+	v, err := s.predict(ctx, bm, seed, scale, cfg, predRPPM, profOpts, modelOpts)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Prediction), nil
+}
+
+// PredictMain returns the MAIN-baseline predicted cycles.
+func (s *Session) PredictMain(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config) (float64, error) {
+	v, err := s.predict(ctx, bm, seed, scale, cfg, predMain, s.eng.opts.Profiler, interval.ModelOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return v.(float64), nil
+}
+
+// PredictCrit returns the CRIT-baseline predicted cycles.
+func (s *Session) PredictCrit(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config) (float64, error) {
+	v, err := s.predict(ctx, bm, seed, scale, cfg, predCrit, s.eng.opts.Profiler, interval.ModelOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return v.(float64), nil
+}
+
+func (s *Session) predict(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config, kind predKind, profOpts profiler.Options, modelOpts interval.ModelOptions) (any, error) {
+	return s.do(ctx, predKey{Key{bm.Name, seed, scale}, cfg, profOpts, modelOpts, kind}, func(ctx context.Context) (any, error) {
+		prof, err := s.ProfileOpts(ctx, bm, seed, scale, profOpts)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.eng.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.eng.release()
+		start := time.Now()
+		var v any
+		switch kind {
+		case predMain:
+			v, err = core.PredictMain(prof, cfg)
+		case predCrit:
+			v, err = core.PredictCrit(prof, cfg)
+		default:
+			v, err = core.PredictOpts(prof, cfg, modelOpts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.eng.emit(Event{Kind: EventPredict, Bench: bm.Name, Config: cfg.Name,
+			Seed: seed, Scale: scale, Duration: time.Since(start)})
+		return v, nil
+	})
+}
+
+// ForEach runs f(ctx, i) for every i in [0, n) concurrently, bounded only
+// by the engine's worker pool (f should do its heavy work through Session
+// calls, which claim pool slots themselves). The first error cancels the
+// shared context, stopping pending jobs, and is returned after every
+// goroutine has exited; among the failures actually recorded, the
+// lowest-index genuine error is preferred over secondary cancellations
+// (which job fails first versus gets cancelled can vary with scheduling).
+func (s *Session) ForEach(ctx context.Context, n int, f func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := f(ctx, i); err != nil {
+				errs[i] = err
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Prefer a real failure over a secondary cancellation error.
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return err
+	}
+	return ctxErr
+}

@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"rppm/internal/arch"
-	"rppm/internal/core"
 	"rppm/internal/interval"
 	"rppm/internal/profiler"
 	"rppm/internal/textplot"
@@ -61,43 +61,49 @@ var ablationBenchmarks = []string{
 }
 
 // runAblation evaluates RPPM error with and without a model variation.
+// The full-model profile, the simulation and (when the ablation changes
+// profiling) the ablated profile all come from the session cache, so the
+// three ablation studies together profile and simulate each benchmark once.
 func runAblation(cfg Config, mechanism string,
 	profOpts func() profiler.Options,
 	modelOpts interval.ModelOptions) (*AblationResult, error) {
 	cfg = cfg.withDefaults()
+	s := cfg.session()
 	target := arch.Base()
-	res := &AblationResult{Mechanism: mechanism}
-	for _, name := range ablationBenchmarks {
+	rows := make([]AblationRow, len(ablationBenchmarks))
+	err := s.ForEach(context.Background(), len(ablationBenchmarks), func(ctx context.Context, i int) error {
+		name := ablationBenchmarks[i]
 		bm, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		run, err := runBench(bm, cfg, target)
+		run, err := runBenchS(ctx, s, bm, cfg, target)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		full, err := core.Predict(run.Profile, target)
+		full, err := s.Predict(ctx, bm, cfg.Seed, cfg.Scale, target)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ablProf := run.Profile
+		ablPOpts := s.Engine().ProfilerOptions()
 		if profOpts != nil {
-			ablProf, err = profiler.Run(bm.Build(cfg.Seed, cfg.Scale), profOpts())
-			if err != nil {
-				return nil, err
-			}
+			ablPOpts = profOpts()
 		}
-		abl, err := core.PredictOpts(ablProf, target, modelOpts)
+		abl, err := s.PredictModel(ctx, bm, cfg.Seed, cfg.Scale, target, ablPOpts, modelOpts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		rows[i] = AblationRow{
 			Name:    name,
 			Full:    math.Abs(signedError(full.Cycles, run.Sim.Cycles)),
 			Ablated: math.Abs(signedError(abl.Cycles, run.Sim.Cycles)),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationResult{Mechanism: mechanism, Rows: rows}, nil
 }
 
 // AblationGlobalRD removes the multithreaded StatStack extension: the

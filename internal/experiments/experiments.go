@@ -4,24 +4,40 @@
 // String() rendering; the CLI (cmd/rppm-experiments) and the root benchmark
 // suite (bench_test.go) both drive these functions, so printed reports and
 // testing.B measurements come from the same code.
+//
+// All experiments schedule their per-benchmark work through
+// internal/engine: jobs fan out across the engine's worker pool, and the
+// session cache guarantees each (benchmark, seed, scale) is built, profiled
+// and simulated exactly once per session regardless of how many experiments
+// consume it. Pass a shared Session in Config to deduplicate across
+// experiments (cmd/rppm-experiments does); leave it nil for a private
+// session per experiment call.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rppm/internal/arch"
-	"rppm/internal/core"
+	"rppm/internal/engine"
 	"rppm/internal/profiler"
 	"rppm/internal/sim"
 	"rppm/internal/workload"
 )
 
-// Config controls experiment fidelity.
+// Config controls experiment fidelity and scheduling.
 type Config struct {
 	// Scale multiplies workload sizes; 1.0 is the full configured size.
 	Scale float64
 	// Seed drives workload generation.
 	Seed uint64
+	// Workers bounds the worker pool when the experiment has to create its
+	// own session (Session == nil); <=0 selects GOMAXPROCS.
+	Workers int
+	// Session, when non-nil, supplies the profile/simulation cache and
+	// worker pool. Sharing one session across experiments profiles and
+	// simulates every benchmark exactly once for the whole evaluation.
+	Session *engine.Session
 }
 
 // DefaultConfig runs the experiments at a fidelity that completes the whole
@@ -38,6 +54,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// session returns the configured shared session, or a private one bound to
+// a fresh engine. Even a private session deduplicates within one
+// experiment (e.g. Figure 4's profile serves MAIN, CRIT and RPPM).
+func (c Config) session() *engine.Session {
+	if c.Session != nil {
+		return c.Session
+	}
+	return engine.New(engine.Options{Workers: c.Workers}).NewSession()
+}
+
 // BenchRun bundles everything the figure experiments need for one
 // benchmark: the microarchitecture-independent profile (collected once) and
 // the golden-reference simulation on the base configuration.
@@ -47,31 +73,38 @@ type BenchRun struct {
 	Sim     *sim.Result
 }
 
-// runBench profiles and simulates one benchmark on the base configuration.
-func runBench(bm workload.Benchmark, cfg Config, target arch.Config) (*BenchRun, error) {
-	prof, err := profiler.Run(bm.Build(cfg.Seed, cfg.Scale), profiler.Options{})
+// runBenchS profiles and simulates one benchmark on the target
+// configuration through the session cache; the workload is built once and
+// shared by the profiler and the simulator.
+func runBenchS(ctx context.Context, s *engine.Session, bm workload.Benchmark, cfg Config, target arch.Config) (*BenchRun, error) {
+	prof, err := s.Profile(ctx, bm, cfg.Seed, cfg.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("profile %s: %w", bm.Name, err)
 	}
-	simRes, err := sim.Run(bm.Build(cfg.Seed, cfg.Scale), target)
+	simRes, err := s.Simulate(ctx, bm, cfg.Seed, cfg.Scale, target)
 	if err != nil {
 		return nil, fmt.Errorf("simulate %s: %w", bm.Name, err)
 	}
 	return &BenchRun{Bench: bm, Profile: prof, Sim: simRes}, nil
 }
 
-// predictAll returns the MAIN, CRIT and RPPM predictions (in cycles) for a
-// profiled benchmark on the target configuration.
-func predictAll(prof *profiler.Profile, target arch.Config) (mainC, critC, rppmC float64, err error) {
-	mainC, err = core.PredictMain(prof, target)
+// runBench profiles and simulates one benchmark on the base configuration.
+func runBench(bm workload.Benchmark, cfg Config, target arch.Config) (*BenchRun, error) {
+	return runBenchS(context.Background(), cfg.session(), bm, cfg, target)
+}
+
+// predictAllS returns the MAIN, CRIT and RPPM predictions (in cycles) for a
+// benchmark on the target configuration, using the session's cached profile.
+func predictAllS(ctx context.Context, s *engine.Session, bm workload.Benchmark, cfg Config, target arch.Config) (mainC, critC, rppmC float64, err error) {
+	mainC, err = s.PredictMain(ctx, bm, cfg.Seed, cfg.Scale, target)
 	if err != nil {
 		return
 	}
-	critC, err = core.PredictCrit(prof, target)
+	critC, err = s.PredictCrit(ctx, bm, cfg.Seed, cfg.Scale, target)
 	if err != nil {
 		return
 	}
-	pred, err2 := core.Predict(prof, target)
+	pred, err2 := s.Predict(ctx, bm, cfg.Seed, cfg.Scale, target)
 	if err2 != nil {
 		err = err2
 		return
@@ -90,32 +123,3 @@ func signedError(predicted, actual float64) float64 {
 
 // profilerProfile aliases the profile type for the table helpers.
 type profilerProfile = profiler.Profile
-
-// profileBench collects a benchmark's microarchitecture-independent profile.
-func profileBench(bm workload.Benchmark, cfg Config) (*profiler.Profile, error) {
-	prof, err := profiler.Run(bm.Build(cfg.Seed, cfg.Scale), profiler.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("profile %s: %w", bm.Name, err)
-	}
-	return prof, nil
-}
-
-// corePredict returns RPPM's predicted execution time in seconds (the DSE
-// case study compares design points at different clock frequencies, so
-// cycles are not comparable).
-func corePredict(prof *profiler.Profile, target arch.Config) (float64, error) {
-	pred, err := core.Predict(prof, target)
-	if err != nil {
-		return 0, err
-	}
-	return pred.Seconds, nil
-}
-
-// simRun returns the simulated execution time in seconds.
-func simRun(bm workload.Benchmark, cfg Config, target arch.Config) (float64, error) {
-	res, err := sim.Run(bm.Build(cfg.Seed, cfg.Scale), target)
-	if err != nil {
-		return 0, err
-	}
-	return res.Seconds, nil
-}

@@ -6,11 +6,28 @@ import (
 	"testing"
 
 	"rppm/internal/arch"
+	"rppm/internal/engine"
 	"rppm/internal/workload"
 )
 
+// testSession is shared by every test in the package: each (benchmark,
+// seed, scale) is profiled and simulated once for the whole suite, however
+// many tables and figures consume it.
+var testSession = engine.New(engine.Options{}).NewSession()
+
 // testCfg keeps the experiment tests fast.
-var testCfg = Config{Scale: 0.06, Seed: 1}
+var testCfg = Config{Scale: 0.06, Seed: 1, Session: testSession}
+
+// suiteCfg returns the shared test configuration, scaled further down under
+// -short; the default run keeps full test fidelity.
+func suiteCfg(t *testing.T) Config {
+	t.Helper()
+	c := testCfg
+	if testing.Short() {
+		c.Scale = 0.03
+	}
+	return c
+}
 
 func TestTableIMatchesClosedForm(t *testing.T) {
 	res := TableI(20000, 10, 1)
@@ -67,7 +84,7 @@ func TestTableII(t *testing.T) {
 }
 
 func TestTableIIIShape(t *testing.T) {
-	res, err := TableIII(testCfg)
+	res, err := TableIII(suiteCfg(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +123,7 @@ func TestTableIVStatic(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	res, err := Figure4(testCfg)
+	res, err := Figure4(suiteCfg(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +145,10 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestTableVShape(t *testing.T) {
-	small := Config{Scale: 0.05, Seed: 1}
+	if testing.Short() {
+		t.Skip("design-space sweep (16 benchmarks x 5 simulated configs) in short mode")
+	}
+	small := Config{Scale: 0.05, Seed: 1, Session: testSession}
 	res, err := TableV(small)
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +178,7 @@ func TestTableVShape(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	res, err := Figure5(testCfg)
+	res, err := Figure5(suiteCfg(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +200,7 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestFigure6Groups(t *testing.T) {
-	res, err := Figure6(testCfg)
+	res, err := Figure6(suiteCfg(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +244,7 @@ func TestAblationsWorsenError(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablations in short mode")
 	}
-	cfg := Config{Scale: 0.1, Seed: 1}
+	cfg := Config{Scale: 0.1, Seed: 1, Session: testSession}
 	for _, tc := range []struct {
 		name string
 		run  func(Config) (*AblationResult, error)

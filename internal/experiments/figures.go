@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"rppm/internal/arch"
 	"rppm/internal/bottlegraph"
-	"rppm/internal/core"
 	"rppm/internal/interval"
 	"rppm/internal/textplot"
 	"rppm/internal/workload"
@@ -29,30 +29,39 @@ type Figure4Result struct {
 	Rows []Figure4Row
 }
 
-// Figure4 reproduces Figure 4.
+// Figure4 reproduces Figure 4. Benchmarks fan out across the session's
+// worker pool; row order matches the suite order regardless of completion
+// order.
 func Figure4(cfg Config) (*Figure4Result, error) {
 	cfg = cfg.withDefaults()
+	s := cfg.session()
 	target := arch.Base()
-	res := &Figure4Result{}
-	for _, bm := range workload.Suite() {
-		run, err := runBench(bm, cfg, target)
+	suite := workload.Suite()
+	rows := make([]Figure4Row, len(suite))
+	err := s.ForEach(context.Background(), len(suite), func(ctx context.Context, i int) error {
+		bm := suite[i]
+		run, err := runBenchS(ctx, s, bm, cfg, target)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mainC, critC, rppmC, err := predictAll(run.Profile, target)
+		mainC, critC, rppmC, err := predictAllS(ctx, s, bm, cfg, target)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", bm.Name, err)
+			return fmt.Errorf("%s: %w", bm.Name, err)
 		}
-		res.Rows = append(res.Rows, Figure4Row{
+		rows[i] = Figure4Row{
 			Name:  bm.Name,
 			Kind:  bm.Kind,
 			MAIN:  signedError(mainC, run.Sim.Cycles),
 			CRIT:  signedError(critC, run.Sim.Cycles),
 			RPPM:  signedError(rppmC, run.Sim.Cycles),
 			SimCy: run.Sim.Cycles,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure4Result{Rows: rows}, nil
 }
 
 // Averages returns the mean absolute errors (MAIN, CRIT, RPPM).
@@ -138,29 +147,36 @@ func meanStack(stacks []interval.Stack) interval.Stack {
 // simulation, averaged across threads.
 func Figure5(cfg Config) (*Figure5Result, error) {
 	cfg = cfg.withDefaults()
+	s := cfg.session()
 	target := arch.Base()
-	res := &Figure5Result{}
-	for _, bm := range workload.Suite() {
-		run, err := runBench(bm, cfg, target)
+	suite := workload.Suite()
+	rows := make([]Figure5Row, len(suite))
+	err := s.ForEach(context.Background(), len(suite), func(ctx context.Context, i int) error {
+		bm := suite[i]
+		run, err := runBenchS(ctx, s, bm, cfg, target)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pred, err := core.Predict(run.Profile, target)
+		pred, err := s.Predict(ctx, bm, cfg.Seed, cfg.Scale, target)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", bm.Name, err)
+			return fmt.Errorf("%s: %w", bm.Name, err)
 		}
 		var modelStacks, simStacks []interval.Stack
 		for t := range pred.Threads {
 			modelStacks = append(modelStacks, pred.Threads[t].Stack)
 			simStacks = append(simStacks, run.Sim.Threads[t].Stack)
 		}
-		res.Rows = append(res.Rows, Figure5Row{
+		rows[i] = Figure5Row{
 			Name:  bm.Name,
 			Model: meanStack(modelStacks),
 			Sim:   meanStack(simStacks),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure5Result{Rows: rows}, nil
 }
 
 func (r *Figure5Result) String() string {
@@ -192,32 +208,41 @@ type Figure6Result struct {
 // predicted by RPPM (left) and measured by simulation (right).
 func Figure6(cfg Config) (*Figure6Result, error) {
 	cfg = cfg.withDefaults()
+	s := cfg.session()
 	target := arch.Base()
-	res := &Figure6Result{}
+	var benches []workload.Benchmark
 	for _, bm := range workload.Suite() {
-		if bm.Kind != workload.Parsec {
-			continue
+		if bm.Kind == workload.Parsec {
+			benches = append(benches, bm)
 		}
-		run, err := runBench(bm, cfg, target)
+	}
+	rows := make([]Figure6Row, len(benches))
+	err := s.ForEach(context.Background(), len(benches), func(ctx context.Context, i int) error {
+		bm := benches[i]
+		run, err := runBenchS(ctx, s, bm, cfg, target)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pred, err := core.Predict(run.Profile, target)
+		pred, err := s.Predict(ctx, bm, cfg.Seed, cfg.Scale, target)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", bm.Name, err)
+			return fmt.Errorf("%s: %w", bm.Name, err)
 		}
 		var predIvs, simIvs [][][2]float64
 		for t := range pred.Threads {
 			predIvs = append(predIvs, pred.Threads[t].ActiveIntervals)
 			simIvs = append(simIvs, run.Sim.Threads[t].ActiveIntervals)
 		}
-		res.Rows = append(res.Rows, Figure6Row{
+		rows[i] = Figure6Row{
 			Name:  bm.Name,
 			Model: bottlegraph.Build(predIvs, pred.Cycles),
 			Sim:   bottlegraph.Build(simIvs, run.Sim.Cycles),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure6Result{Rows: rows}, nil
 }
 
 func (r *Figure6Result) String() string {

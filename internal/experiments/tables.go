@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"strings"
 
 	"rppm/internal/arch"
 	"rppm/internal/prng"
@@ -107,26 +107,34 @@ type TableIIIResult struct {
 // condition-variable events).
 func TableIII(cfg Config) (*TableIIIResult, error) {
 	cfg = cfg.withDefaults()
-	res := &TableIIIResult{}
+	s := cfg.session()
+	var benches []workload.Benchmark
 	for _, bm := range workload.Suite() {
-		if bm.Kind != workload.Parsec {
-			continue
+		if bm.Kind == workload.Parsec {
+			benches = append(benches, bm)
 		}
-		prof, err := runProfileOnly(bm, cfg)
+	}
+	profs := make([]*profilerProfile, len(benches))
+	err := s.ForEach(context.Background(), len(benches), func(ctx context.Context, i int) error {
+		prof, err := s.Profile(ctx, benches[i], cfg.Seed, cfg.Scale)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("profile %s: %w", benches[i].Name, err)
 		}
-		cs, bar, cv := prof.SyncCounts()
+		profs[i] = prof
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIIIResult{}
+	for i, bm := range benches {
+		cs, bar, cv := profs[i].SyncCounts()
 		res.Names = append(res.Names, bm.Name)
 		res.CriticalSections = append(res.CriticalSections, cs)
 		res.Barriers = append(res.Barriers, bar)
 		res.CondVars = append(res.CondVars, cv)
 	}
 	return res, nil
-}
-
-func runProfileOnly(bm workload.Benchmark, cfg Config) (prof *profilerProfile, err error) {
-	return profileBench(bm, cfg)
 }
 
 func (r *TableIIIResult) String() string {
@@ -201,34 +209,43 @@ type TableVResult struct {
 // simulation.
 func TableV(cfg Config) (*TableVResult, error) {
 	cfg = cfg.withDefaults()
+	s := cfg.session()
 	space := arch.DesignSpace()
-	res := &TableVResult{Bounds: []float64{0, 0.01, 0.03, 0.05}}
+	bounds := []float64{0, 0.01, 0.03, 0.05}
+	var benches []workload.Benchmark
 	for _, bm := range workload.Suite() {
-		if bm.Kind != workload.Rodinia {
-			continue
+		if bm.Kind == workload.Rodinia {
+			benches = append(benches, bm)
 		}
-		prof, err := profileBench(bm, cfg)
-		if err != nil {
-			return nil, err
-		}
+	}
+	rows := make([]TableVRow, len(benches))
+	// Fan out (benchmark x design point): every job shares the benchmark's
+	// single cached profile, exactly the paper's profile-once workflow.
+	err := s.ForEach(context.Background(), len(benches), func(ctx context.Context, b int) error {
+		bm := benches[b]
 		predicted := make([]float64, len(space))
 		simulated := make([]float64, len(space))
-		for i, target := range space {
-			pred, err := corePredict(prof, target)
+		err := s.ForEach(ctx, len(space), func(ctx context.Context, i int) error {
+			target := space[i]
+			pred, err := s.Predict(ctx, bm, cfg.Seed, cfg.Scale, target)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", bm.Name, target.Name, err)
+				return fmt.Errorf("%s/%s: %w", bm.Name, target.Name, err)
 			}
-			predicted[i] = pred
-			simRes, err := simRun(bm, cfg, target)
+			predicted[i] = pred.Seconds
+			simRes, err := s.Simulate(ctx, bm, cfg.Seed, cfg.Scale, target)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", bm.Name, target.Name, err)
+				return fmt.Errorf("%s/%s: %w", bm.Name, target.Name, err)
 			}
-			simulated[i] = simRes
+			simulated[i] = simRes.Seconds
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		trueBest := minIndex(simulated)
 		predBest := minIndex(predicted)
 		row := TableVRow{Name: bm.Name}
-		for _, bound := range res.Bounds {
+		for _, bound := range bounds {
 			// Candidate set: designs predicted within bound of the
 			// predicted optimum.
 			bestChoice := -1
@@ -245,9 +262,13 @@ func TableV(cfg Config) (*TableVResult, error) {
 			row.Deficiency = append(row.Deficiency, def)
 			row.Candidates = append(row.Candidates, candidates)
 		}
-		res.Rows = append(res.Rows, row)
+		rows[b] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &TableVResult{Bounds: bounds, Rows: rows}, nil
 }
 
 // AverageDeficiency returns the mean deficiency per bound.
@@ -298,5 +319,3 @@ func minIndex(xs []float64) int {
 	}
 	return best
 }
-
-var _ = strings.TrimSpace // keep strings imported for future renderers

@@ -26,6 +26,7 @@ import (
 	"rppm/internal/arch"
 	"rppm/internal/bottlegraph"
 	"rppm/internal/core"
+	"rppm/internal/engine"
 	"rppm/internal/interval"
 	"rppm/internal/profiler"
 	"rppm/internal/sim"
@@ -52,7 +53,42 @@ type (
 	Benchmark = workload.Benchmark
 	// BottleGraph visualizes per-thread criticality and parallelism.
 	BottleGraph = bottlegraph.Graph
+	// ProfilerOptions control micro-trace sampling and the profiling
+	// ablations; the zero value selects the defaults.
+	ProfilerOptions = profiler.Options
+
+	// Engine owns a bounded worker pool for concurrent profiling,
+	// simulation and prediction jobs.
+	Engine = engine.Engine
+	// EngineOptions configure NewEngine (parallelism, default profiler
+	// options, progress sink).
+	EngineOptions = engine.Options
+	// Session is a keyed profile/simulation/prediction cache on top of an
+	// Engine: each (benchmark, seed, scale) is built and profiled exactly
+	// once per session, and each (benchmark, seed, scale, config) is
+	// simulated and predicted exactly once, however many consumers ask
+	// concurrently. All methods are safe for concurrent use.
+	Session = engine.Session
+	// EngineEvent reports one completed non-cached unit of work to the
+	// progress sink.
+	EngineEvent = engine.Event
 )
+
+// NewEngine creates a concurrent experiment engine. The zero options bound
+// parallelism at GOMAXPROCS. Create a Session from it to get the shared
+// cache:
+//
+//	eng := rppm.NewEngine(rppm.EngineOptions{Workers: 8})
+//	s := eng.NewSession()
+//	prof, _ := s.Profile(ctx, bench, seed, scale)     // profiled once
+//	for _, cfg := range rppm.DesignSpace() {
+//		pred, _ := s.Predict(ctx, bench, seed, scale, cfg)
+//		...
+//	}
+//
+// Parallel sessions return bit-identical results to serial ones: the
+// engine parallelizes across independent jobs, never inside one.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 
 // BaseConfig returns the paper's base configuration: a quad-core 2.5 GHz
 // 4-wide out-of-order processor (Table IV, middle column).

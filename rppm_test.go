@@ -1,7 +1,9 @@
 package rppm_test
 
 import (
+	"context"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"rppm"
@@ -109,5 +111,73 @@ func TestBottleGraphs(t *testing.T) {
 func TestSuiteIs26Benchmarks(t *testing.T) {
 	if n := len(rppm.Benchmarks()); n != 26 {
 		t.Fatalf("suite has %d benchmarks, want 26", n)
+	}
+}
+
+// TestEngineSessionFlow exercises the public engine API: one cached
+// profile serves the whole design space, the simulation shares the cached
+// workload build, and parallel results match the serial path.
+func TestEngineSessionFlow(t *testing.T) {
+	var profiles atomic.Int32
+	eng := rppm.NewEngine(rppm.EngineOptions{
+		Workers: 4,
+		Progress: func(ev rppm.EngineEvent) {
+			if ev.Kind.String() == "profile" {
+				profiles.Add(1)
+			}
+		},
+	})
+	s := eng.NewSession()
+	bench, err := rppm.BenchmarkByName("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const seed, scale = 1, 0.05
+
+	space := rppm.DesignSpace()
+	preds := make([]*rppm.Prediction, len(space))
+	err = s.ForEach(ctx, len(space), func(ctx context.Context, i int) error {
+		pred, err := s.Predict(ctx, bench, seed, scale, space[i])
+		if err != nil {
+			return err
+		}
+		preds[i] = pred
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := profiles.Load(); n != 1 {
+		t.Fatalf("%d profiles collected for %d design points, want 1", n, len(space))
+	}
+
+	// The session path must agree exactly with the direct serial API.
+	prof, err := rppm.Profile(bench.Build(seed, scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range space {
+		direct, err := rppm.Predict(prof, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Cycles != preds[i].Cycles {
+			t.Fatalf("%s: session prediction %.0f != direct prediction %.0f",
+				cfg.Name, preds[i].Cycles, direct.Cycles)
+		}
+	}
+
+	simSession, err := s.Simulate(ctx, bench, seed, scale, rppm.BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := rppm.Simulate(bench.Build(seed, scale), rppm.BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simSession.Cycles != direct.Cycles {
+		t.Fatalf("session simulation %.0f != direct simulation %.0f",
+			simSession.Cycles, direct.Cycles)
 	}
 }
