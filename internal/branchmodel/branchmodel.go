@@ -33,7 +33,13 @@
 // workload — analogous to the one-time calibration in [10]).
 package branchmodel
 
-import "math"
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"rppm/internal/hashmap"
+)
 
 // SiteStats is the profile of one static branch site.
 type SiteStats struct {
@@ -42,22 +48,52 @@ type SiteStats struct {
 }
 
 // Profile is the branch profile of one epoch or one thread: per-site stats.
+// Sites are stored in an open-addressing table: Record runs once per
+// dynamic branch in the profiler's hot loop, where the built-in map's
+// lookup-then-insert pattern was measurable.
 type Profile struct {
-	Sites map[uint16]*SiteStats
+	sites hashmap.Map[SiteStats]
+
+	// sorted memoizes sortedSites: predictions evaluate LinearEntropy and
+	// MissRate repeatedly against finished, read-only profiles, and
+	// re-sorting per call dominated those accessors. Dropped on mutation;
+	// atomic because finished profiles are read by concurrent prediction
+	// workers (racing builders store identical contents).
+	sorted atomic.Pointer[[]SiteStats]
 }
 
 // NewProfile returns an empty branch profile.
 func NewProfile() *Profile {
-	return &Profile{Sites: make(map[uint16]*SiteStats)}
+	return &Profile{}
 }
+
+// Site returns the stats recorded for a site id.
+func (p *Profile) Site(id uint16) (SiteStats, bool) {
+	return p.sites.Get(uint64(id))
+}
+
+// SetSite overwrites a site's stats (used by tests and synthetic profiles).
+func (p *Profile) SetSite(id uint16, s SiteStats) {
+	p.sites.Put(uint64(id), s)
+	p.invalidate()
+}
+
+// invalidate drops the memoized sorted snapshot after a mutation. The load
+// check keeps the recording hot path to a read: the snapshot only exists
+// once predictions have started.
+func (p *Profile) invalidate() {
+	if p.sorted.Load() != nil {
+		p.sorted.Store(nil)
+	}
+}
+
+// NumSites returns the number of distinct static branch sites recorded.
+func (p *Profile) NumSites() int { return p.sites.Len() }
 
 // Record adds one dynamic branch execution to the profile.
 func (p *Profile) Record(site uint16, taken bool) {
-	s := p.Sites[site]
-	if s == nil {
-		s = &SiteStats{}
-		p.Sites[site] = s
-	}
+	s := p.sites.Ref(uint64(site))
+	p.invalidate()
 	// Incremental mean of the taken indicator.
 	t := 0.0
 	if taken {
@@ -69,35 +105,60 @@ func (p *Profile) Record(site uint16, taken bool) {
 
 // Merge folds other into p (weighted by execution counts).
 func (p *Profile) Merge(other *Profile) {
-	if other == nil {
+	if other == nil || other == p {
 		return
 	}
-	for id, os := range other.Sites {
-		s := p.Sites[id]
-		if s == nil {
-			p.Sites[id] = &SiteStats{Count: os.Count, TakenP: os.TakenP}
-			continue
+	p.invalidate()
+	other.sites.Range(func(id uint64, os *SiteStats) {
+		s, present := p.sites.RefPresent(id)
+		if !present {
+			*s = *os
+			return
 		}
 		total := s.Count + os.Count
 		s.TakenP = (s.TakenP*float64(s.Count) + os.TakenP*float64(os.Count)) / float64(total)
 		s.Count = total
-	}
+	})
 }
 
 // Branches returns the total dynamic branch count in the profile.
 func (p *Profile) Branches() uint64 {
 	var n uint64
-	for _, s := range p.Sites {
-		n += s.Count
-	}
+	p.sites.Range(func(_ uint64, s *SiteStats) { n += s.Count })
 	return n
+}
+
+// sortedSites returns the per-site stats in ascending site-id order.
+// Floating-point accumulations over the profile must follow this order:
+// iterating the site table directly would make the sums depend on the
+// table's slot order, which varies with growth history and would break
+// run-to-run reproducibility of predictions.
+func (p *Profile) sortedSites() []SiteStats {
+	if cached := p.sorted.Load(); cached != nil {
+		return *cached
+	}
+	type entry struct {
+		id uint64
+		s  SiteStats
+	}
+	entries := make([]entry, 0, p.sites.Len())
+	p.sites.Range(func(id uint64, s *SiteStats) {
+		entries = append(entries, entry{id: id, s: *s})
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := make([]SiteStats, len(entries))
+	for i := range entries {
+		out[i] = entries[i].s
+	}
+	p.sorted.Store(&out)
+	return out
 }
 
 // LinearEntropy returns the execution-weighted mean linear entropy of the
 // profile, in [0, 1].
 func (p *Profile) LinearEntropy() float64 {
 	var total, acc float64
-	for _, s := range p.Sites {
+	for _, s := range p.sortedSites() {
 		w := float64(s.Count)
 		acc += w * 2 * s.TakenP * (1 - s.TakenP)
 		total += w
@@ -139,7 +200,7 @@ func (p *Profile) MissRate(predictorBytes int) float64 {
 	if entries < 4 {
 		entries = 4
 	}
-	liveSites := float64(len(p.Sites))
+	liveSites := float64(p.sites.Len())
 	collision := 0.0
 	if liveSites > 1 {
 		collision = 1 - math.Pow(1-1/entries, liveSites-1)
@@ -147,7 +208,7 @@ func (p *Profile) MissRate(predictorBytes int) float64 {
 	pressure := aliasAlpha * collision
 
 	var total, acc float64
-	for _, s := range p.Sites {
+	for _, s := range p.sortedSites() {
 		w := float64(s.Count)
 		floor := counterMissRate(s.TakenP)
 		m := floor + (0.5-floor)*pressure

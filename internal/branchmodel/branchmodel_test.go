@@ -14,8 +14,8 @@ func TestRecordComputesTakenP(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		p.Record(1, i%4 != 0) // 75% taken
 	}
-	s := p.Sites[1]
-	if s.Count != 100 {
+	s, ok := p.Site(1)
+	if !ok || s.Count != 100 {
 		t.Fatalf("count = %d", s.Count)
 	}
 	if math.Abs(s.TakenP-0.75) > 1e-9 {
@@ -46,8 +46,7 @@ func TestMissRateBounds(t *testing.T) {
 		tp := float64(takenPct%101) / 100
 		n := int(sites)%64 + 1
 		for s := 0; s < n; s++ {
-			st := &SiteStats{Count: 1000, TakenP: tp}
-			p.Sites[uint16(s)] = st
+			p.SetSite(uint16(s), SiteStats{Count: 1000, TakenP: tp})
 		}
 		m := p.MissRate(int(kb)*256 + 16)
 		return m >= 0 && m <= 0.5+1e-9
@@ -61,7 +60,7 @@ func TestMissRateMonotoneInPredictorSize(t *testing.T) {
 	p := NewProfile()
 	r := prng.New(1)
 	for s := 0; s < 200; s++ {
-		p.Sites[uint16(s)] = &SiteStats{Count: 500, TakenP: r.Range(0.7, 1.0)}
+		p.SetSite(uint16(s), SiteStats{Count: 500, TakenP: r.Range(0.7, 1.0)})
 	}
 	prev := 1.0
 	for bytes := 64; bytes <= 1<<20; bytes *= 4 {
@@ -77,8 +76,8 @@ func TestBiasedLowerThanRandom(t *testing.T) {
 	biased := NewProfile()
 	random := NewProfile()
 	for s := 0; s < 16; s++ {
-		biased.Sites[uint16(s)] = &SiteStats{Count: 1000, TakenP: 0.97}
-		random.Sites[uint16(s)] = &SiteStats{Count: 1000, TakenP: 0.5}
+		biased.SetSite(uint16(s), SiteStats{Count: 1000, TakenP: 0.97})
+		random.SetSite(uint16(s), SiteStats{Count: 1000, TakenP: 0.5})
 	}
 	if biased.MissRate(4<<10) >= random.MissRate(4<<10) {
 		t.Fatal("biased profile should mispredict less than random profile")
@@ -100,8 +99,8 @@ func TestMerge(t *testing.T) {
 	if a.Branches() != 300 {
 		t.Fatalf("merged branches = %d", a.Branches())
 	}
-	if math.Abs(a.Sites[1].TakenP-0.5) > 1e-9 {
-		t.Fatalf("merged takenP = %v, want 0.5", a.Sites[1].TakenP)
+	if m1, _ := a.Site(1); math.Abs(m1.TakenP-0.5) > 1e-9 {
+		t.Fatalf("merged takenP = %v, want 0.5", m1.TakenP)
 	}
 	a.Merge(nil) // must not panic
 }

@@ -1,0 +1,52 @@
+package cache_test
+
+import (
+	"testing"
+
+	"rppm/internal/arch"
+	"rppm/internal/cache"
+	"rppm/internal/prng"
+)
+
+// benchAddrs returns a deterministic address trace mixing a hot working set
+// with a long streaming tail, at line granularity.
+func benchAddrs(n int) []uint64 {
+	rng := prng.New(42)
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		if rng.Bool(0.7) {
+			addrs[i] = rng.Uint64n(512) // hot: fits in L1/L2
+		} else {
+			addrs[i] = 1 << 20 // cold stream
+			addrs[i] += rng.Uint64n(1 << 18)
+		}
+	}
+	return addrs
+}
+
+// BenchmarkCacheAccess measures a single set-associative cache's lookup and
+// LRU-update cost.
+func BenchmarkCacheAccess(b *testing.B) {
+	addrs := benchAddrs(1 << 16)
+	c := cache.New(arch.Base().L2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&(len(addrs)-1)])
+	}
+}
+
+// BenchmarkHierarchyData measures the full hierarchy's data-access path,
+// including directory-based coherence, with four cores interleaving reads
+// and writes over partially shared lines.
+func BenchmarkHierarchyData(b *testing.B) {
+	addrs := benchAddrs(1 << 16)
+	h := cache.NewHierarchy(arch.Base())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core := i & 3
+		write := i&7 == 0
+		h.AccessData(core, addrs[i&(len(addrs)-1)]<<6, write)
+	}
+}

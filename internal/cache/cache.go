@@ -14,16 +14,22 @@ import (
 	"math/bits"
 
 	"rppm/internal/arch"
+	"rppm/internal/hashmap"
 )
 
-// Cache is one set-associative LRU cache level.
+// invalidTag marks an empty way. Line addresses are byte addresses shifted
+// right by the line size, so the all-ones value can never be a real line.
+const invalidTag = ^uint64(0)
+
+// Cache is one set-associative LRU cache level. All sets live in one flat
+// tag array ordered most- to least-recently used within each set: a lookup
+// touches a single contiguous run of ways (one or two cache lines of host
+// memory) instead of chasing per-set slice headers and a parallel validity
+// array, and the whole cache is a single allocation.
 type Cache struct {
-	ways     int
-	setShift uint
-	setMask  uint64
-	// sets[s] holds the tags of set s ordered most- to least-recently used.
-	sets  [][]uint64
-	valid [][]bool
+	ways    int
+	setMask uint64
+	tags    []uint64 // len = sets*ways; tags[s*ways : (s+1)*ways]
 
 	hits, misses uint64
 }
@@ -33,9 +39,8 @@ type Cache struct {
 func New(cfg arch.CacheConfig) *Cache {
 	sets := cfg.Sets()
 	c := &Cache{
-		ways:     cfg.Assoc,
-		setShift: 0,
-		setMask:  uint64(sets - 1),
+		ways:    cfg.Assoc,
+		setMask: uint64(sets - 1),
 	}
 	if sets&(sets-1) != 0 {
 		// Round down to a power of two; configs produced by internal/arch
@@ -44,51 +49,46 @@ func New(cfg arch.CacheConfig) *Cache {
 		c.setMask = uint64(p - 1)
 		sets = p
 	}
-	c.sets = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	for i := range c.sets {
-		c.sets[i] = make([]uint64, cfg.Assoc)
-		c.valid[i] = make([]bool, cfg.Assoc)
+	c.tags = make([]uint64, sets*cfg.Assoc)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	return c
 }
 
-func (c *Cache) setOf(lineAddr uint64) int { return int(lineAddr & c.setMask) }
+// set returns the tag slice of the set holding lineAddr, MRU first.
+func (c *Cache) set(lineAddr uint64) []uint64 {
+	base := int(lineAddr&c.setMask) * c.ways
+	return c.tags[base : base+c.ways]
+}
 
 // Access looks up a line address, updates LRU state and inserts the line on
 // a miss (evicting the LRU way). It returns whether the access hit and, on
 // miss, the evicted line address (victim) and whether a valid line was
 // evicted.
 func (c *Cache) Access(lineAddr uint64) (hit bool, victim uint64, evicted bool) {
-	s := c.setOf(lineAddr)
-	set := c.sets[s]
-	val := c.valid[s]
-	for i := 0; i < c.ways; i++ {
-		if val[i] && set[i] == lineAddr {
+	set := c.set(lineAddr)
+	for i, t := range set {
+		if t == lineAddr {
 			// Move to MRU position.
 			copy(set[1:i+1], set[:i])
-			copy(val[1:i+1], val[:i])
 			set[0] = lineAddr
-			val[0] = true
 			c.hits++
 			return true, 0, false
 		}
 	}
 	c.misses++
 	last := c.ways - 1
-	victim, evicted = set[last], val[last]
+	victim, evicted = set[last], set[last] != invalidTag
 	copy(set[1:], set[:last])
-	copy(val[1:], val[:last])
 	set[0] = lineAddr
-	val[0] = true
 	return false, victim, evicted
 }
 
 // Contains reports whether the line is present without touching LRU state.
 func (c *Cache) Contains(lineAddr uint64) bool {
-	s := c.setOf(lineAddr)
-	for i := 0; i < c.ways; i++ {
-		if c.valid[s][i] && c.sets[s][i] == lineAddr {
+	for _, t := range c.set(lineAddr) {
+		if t == lineAddr {
 			return true
 		}
 	}
@@ -97,10 +97,10 @@ func (c *Cache) Contains(lineAddr uint64) bool {
 
 // Invalidate removes the line if present and reports whether it was present.
 func (c *Cache) Invalidate(lineAddr uint64) bool {
-	s := c.setOf(lineAddr)
-	for i := 0; i < c.ways; i++ {
-		if c.valid[s][i] && c.sets[s][i] == lineAddr {
-			c.valid[s][i] = false
+	set := c.set(lineAddr)
+	for i, t := range set {
+		if t == lineAddr {
+			set[i] = invalidTag
 			return true
 		}
 	}
@@ -109,6 +109,9 @@ func (c *Cache) Invalidate(lineAddr uint64) bool {
 
 // Stats returns the hit and miss counts since creation.
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.tags) / c.ways }
 
 // Level identifies where in the hierarchy an access was served.
 type Level int
@@ -139,6 +142,14 @@ func (l Level) String() string {
 	return "?"
 }
 
+// dirEntry is the packed per-line directory state: the low 32 bits are the
+// sharer core bitmask, the high 32 bits hold the dirty owner's core id
+// plus one (0 = clean). One open-addressing probe reads and updates both.
+type dirEntry uint64
+
+func (d dirEntry) sharers() uint32 { return uint32(d) }
+func (d dirEntry) ownerP() uint32  { return uint32(d >> 32) }
+
 // Hierarchy is the full multicore memory system.
 type Hierarchy struct {
 	cfg       arch.Config
@@ -149,12 +160,13 @@ type Hierarchy struct {
 
 	// Directory state, line-granular: which cores hold a copy, and which
 	// core (if any) holds it modified.
-	sharers map[uint64]uint32
-	owner   map[uint64]int32 // core id holding the line dirty, -1 if clean
+	dir hashmap.Map[dirEntry]
 
-	// Counters per core and level, for CPI-stack accounting and MPKI.
-	served       [][]uint64 // [core][level]
-	invalidation []uint64   // invalidations received per core
+	// Counters per core and level, for CPI-stack accounting and MPKI,
+	// flattened to served[core*NumLevels+level] so the per-access increment
+	// is one indexed add.
+	served       []uint64
+	invalidation []uint64 // invalidations received per core
 }
 
 // remoteTransferPenalty is the extra latency (beyond an LLC hit) of pulling
@@ -167,16 +179,16 @@ func NewHierarchy(cfg arch.Config) *Hierarchy {
 		cfg:          cfg,
 		lineShift:    uint(bits.Len(uint(cfg.L1D.LineBytes)) - 1),
 		llc:          New(cfg.LLC),
-		sharers:      make(map[uint64]uint32),
-		owner:        make(map[uint64]int32),
-		served:       make([][]uint64, cfg.Cores),
+		served:       make([]uint64, cfg.Cores*NumLevels),
 		invalidation: make([]uint64, cfg.Cores),
+		// Pre-size the directory near a typical touched-line count to skip
+		// the early rehash doublings.
+		dir: *hashmap.New[dirEntry](8192),
 	}
 	for c := 0; c < cfg.Cores; c++ {
 		h.l1i = append(h.l1i, New(cfg.L1I))
 		h.l1d = append(h.l1d, New(cfg.L1D))
 		h.l2 = append(h.l2, New(cfg.L2))
-		h.served[c] = make([]uint64, NumLevels)
 	}
 	return h
 }
@@ -189,51 +201,80 @@ func (h *Hierarchy) Line(addr uint64) uint64 { return addr >> h.lineShift }
 func (h *Hierarchy) AccessData(core int, addr uint64, write bool) (latency int, level Level) {
 	line := h.Line(addr)
 
+	// Fast path: a read that hits this core's private L1D or L2 needs no
+	// directory work. A privately-resident line already carries this
+	// core's sharer bit (set when the line was filled, cleared only by a
+	// remote write that also invalidates both private levels) and cannot
+	// be dirty in another cache (that write would likewise have
+	// invalidated it), so the directory update a read performs would be a
+	// no-op — skipping the probe is state- and counter-identical. The
+	// core's own lookups are independent of the directory, so performing
+	// them first does not reorder anything observable. (The invariant
+	// assumes instruction and data lines do not alias — instruction fills
+	// enter L2 without directory updates — which holds for every workload:
+	// the generators place code and data in disjoint address regions.)
+	var hitL1, hitL2 bool
+	if !write {
+		hitL1, _, _ = h.l1d[core].Access(line)
+		if hitL1 {
+			h.served[core*NumLevels+int(LevelL1)]++
+			return h.cfg.L1D.HitLatency, LevelL1
+		}
+		hitL2, _, _ = h.l2[core].Access(line)
+		if hitL2 {
+			h.served[core*NumLevels+int(LevelL2)]++
+			return h.cfg.L2.HitLatency, LevelL2
+		}
+	}
+
 	// Coherence: a write invalidates every other core's private copies; a
 	// read of a line that is dirty in another private cache triggers a
-	// remote transfer (and downgrades the owner's copy to shared).
+	// remote transfer (and downgrades the owner's copy to shared). The
+	// packed directory entry resolves owner and sharers in one probe.
+	d := h.dir.Ref(line)
+	e := *d
 	remote := false
-	if ow, ok := h.owner[line]; ok && ow >= 0 && int(ow) != core {
+	if op := e.ownerP(); op != 0 && int(op-1) != core {
 		remote = true
-		delete(h.owner, line)
+		e = dirEntry(e.sharers()) // downgrade: clear the owner
 	}
 	if write {
-		mask := h.sharers[line]
-		for c := 0; c < h.cfg.Cores; c++ {
-			if c == core || mask&(1<<uint(c)) == 0 {
-				continue
-			}
+		// Invalidate every other sharer, walking only the set bits.
+		for m := e.sharers() &^ (1 << uint(core)); m != 0; m &= m - 1 {
+			c := bits.TrailingZeros32(m)
 			inv := h.l1d[c].Invalidate(line)
 			if h.l2[c].Invalidate(line) || inv {
 				h.invalidation[c]++
 			}
 		}
-		h.sharers[line] = 1 << uint(core)
-		h.owner[line] = int32(core)
+		e = dirEntry(1<<uint(core)) | dirEntry(core+1)<<32
 	} else {
-		h.sharers[line] |= 1 << uint(core)
+		e |= dirEntry(1) << uint(core)
 	}
+	*d = e
 
-	hitL1, _, _ := h.l1d[core].Access(line)
-	if hitL1 && !remote {
-		h.served[core][LevelL1]++
-		return h.cfg.L1D.HitLatency, LevelL1
-	}
-	hitL2, _, _ := h.l2[core].Access(line)
-	if hitL2 && !remote {
-		h.served[core][LevelL2]++
-		return h.cfg.L2.HitLatency, LevelL2
+	if write {
+		hitL1, _, _ = h.l1d[core].Access(line)
+		if hitL1 && !remote {
+			h.served[core*NumLevels+int(LevelL1)]++
+			return h.cfg.L1D.HitLatency, LevelL1
+		}
+		hitL2, _, _ = h.l2[core].Access(line)
+		if hitL2 && !remote {
+			h.served[core*NumLevels+int(LevelL2)]++
+			return h.cfg.L2.HitLatency, LevelL2
+		}
 	}
 	hitLLC, _, _ := h.llc.Access(line)
 	if remote {
-		h.served[core][LevelRemote]++
+		h.served[core*NumLevels+int(LevelRemote)]++
 		return h.cfg.LLC.HitLatency + remoteTransferPenalty, LevelRemote
 	}
 	if hitLLC {
-		h.served[core][LevelLLC]++
+		h.served[core*NumLevels+int(LevelLLC)]++
 		return h.cfg.LLC.HitLatency, LevelLLC
 	}
-	h.served[core][LevelMem]++
+	h.served[core*NumLevels+int(LevelMem)]++
 	return h.cfg.MemLatency, LevelMem
 }
 
@@ -241,21 +282,25 @@ func (h *Hierarchy) AccessData(core int, addr uint64, write bool) (latency int, 
 func (h *Hierarchy) AccessInstr(core int, pc uint64) (latency int, level Level) {
 	line := h.Line(pc)
 	if hit, _, _ := h.l1i[core].Access(line); hit {
+		h.served[core*NumLevels+int(LevelL1)]++
 		return 0, LevelL1 // overlapped with decode; no added latency
 	}
 	if hit, _, _ := h.l2[core].Access(line); hit {
+		h.served[core*NumLevels+int(LevelL2)]++
 		return h.cfg.L2.HitLatency, LevelL2
 	}
 	if hit, _, _ := h.llc.Access(line); hit {
+		h.served[core*NumLevels+int(LevelLLC)]++
 		return h.cfg.LLC.HitLatency, LevelLLC
 	}
+	h.served[core*NumLevels+int(LevelMem)]++
 	return h.cfg.MemLatency, LevelMem
 }
 
 // Served returns per-level access counts for a core.
 func (h *Hierarchy) Served(core int) []uint64 {
 	out := make([]uint64, NumLevels)
-	copy(out, h.served[core])
+	copy(out, h.served[core*NumLevels:(core+1)*NumLevels])
 	return out
 }
 

@@ -26,7 +26,7 @@ func TestLRUEviction(t *testing.T) {
 	// 4-way set: fill one set with 4 lines, access a 5th mapping to the
 	// same set — the least recently used must be evicted.
 	c := smallCache()
-	sets := uint64(len(c.sets))
+	sets := uint64(c.Sets())
 	lines := []uint64{0, sets, 2 * sets, 3 * sets, 4 * sets} // all map to set 0
 	for _, l := range lines[:4] {
 		c.Access(l)
@@ -61,7 +61,7 @@ func TestInvalidate(t *testing.T) {
 
 func TestContainsDoesNotTouchLRU(t *testing.T) {
 	c := smallCache()
-	sets := uint64(len(c.sets))
+	sets := uint64(c.Sets())
 	for i := uint64(0); i < 4; i++ {
 		c.Access(i * sets)
 	}
@@ -197,6 +197,21 @@ func TestServedCounters(t *testing.T) {
 	s := h.Served(0)
 	if s[LevelMem] != 1 || s[LevelL1] != 1 {
 		t.Fatalf("served = %v", s)
+	}
+}
+
+func TestServedCountersInstr(t *testing.T) {
+	// Instruction fetches must show up in the per-core served counters
+	// just like data accesses, or MPKI accounting undercounts the I-side.
+	h := hierarchy()
+	h.AccessInstr(2, 0x40_0000)
+	h.AccessInstr(2, 0x40_0000)
+	s := h.Served(2)
+	if s[LevelMem] != 1 || s[LevelL1] != 1 {
+		t.Fatalf("instr served = %v, want one mem + one L1", s)
+	}
+	if got := h.Served(0); got[LevelMem] != 0 || got[LevelL1] != 0 {
+		t.Fatalf("wrong core charged: %v", got)
 	}
 }
 

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+// goldenFigure4 is the SHA-256 over the Figure 4 rows at Scale 0.05, Seed 1,
+// captured on the pre-optimization tree (commit 5e6cb65, after fixing the
+// branch-model map-iteration nondeterminism). The batched-streaming /
+// hashmap / packed-cache / lazy-sim overhaul is required to be bit-identical
+// to that code: every float in every row must survive unchanged, serial and
+// parallel.
+const goldenFigure4 = "0eac97824318d0ba907f8b7870af5742949b64442b776fd7e726a8176b2f1a86"
+
+func hashFigure4(r *Figure4Result) string {
+	h := sha256.New()
+	for _, row := range r.Rows {
+		fmt.Fprintf(h, "%s|%d|%v|%v|%v|%v\n", row.Name, row.Kind, row.MAIN, row.CRIT, row.RPPM, row.SimCy)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestGoldenFigure4Determinism locks the whole profile→simulate→predict
+// pipeline to the pre-optimization outputs: a serial run and a parallel run
+// must both reproduce the recorded hash exactly. Any model change, float
+// reordering, or scheduling-dependent result shows up here as a hash
+// mismatch.
+func TestGoldenFigure4Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden Figure 4 run is a full (reduced-scale) evaluation")
+	}
+	for _, workers := range []int{1, 8} {
+		res, err := Figure4(Config{Scale: 0.05, Seed: 1, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := hashFigure4(res); got != goldenFigure4 {
+			t.Errorf("workers=%d: Figure 4 hash %s, want golden %s", workers, got, goldenFigure4)
+		}
+	}
+}

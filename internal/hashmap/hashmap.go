@@ -1,0 +1,198 @@
+// Package hashmap provides a small open-addressing hash table with uint64
+// keys, used on the hot paths of the profiler and the cycle-level simulator
+// in place of Go's built-in map.
+//
+// The built-in map is general-purpose: every access hashes through a
+// runtime call, touches bucket metadata bytes, and the common profiler
+// pattern "read the previous value, then store the new one" costs two full
+// lookups. This table is specialized for the access pattern of
+// reuse-distance and directory tracking:
+//
+//   - keys are uint64 (line addresses), pre-mixed with a splitmix64-style
+//     finalizer so sequential addresses scatter;
+//   - linear probing over a power-of-two array of key+value slots: a probe
+//     touches one cache line, not a key line plus a value line — on the
+//     multi-megabyte tracking tables of long runs every access is a cache
+//     miss, so halving the touched lines matters more than anything else;
+//   - Upsert returns the previous value while storing the new one in a
+//     single probe sequence — the profiler's last-access pattern;
+//   - Ref/RefPresent return a pointer to the value slot for
+//     read-modify-write — the directory's sharers/owner pattern;
+//   - no deletion (tracking state only grows), so no tombstones.
+//
+// The zero key is used as the empty-slot marker internally; a real zero key
+// is carried in a dedicated side slot, so the full uint64 key space is
+// supported. A Map is safe for concurrent readers (Get/Len) once writers
+// are done; writes require external synchronization.
+package hashmap
+
+// minCap is the smallest slot-array size; must be a power of two.
+const minCap = 16
+
+type slot[V any] struct {
+	key uint64
+	val V
+}
+
+// Map is an open-addressing uint64-keyed hash table. The zero value is
+// ready to use.
+type Map[V any] struct {
+	slots []slot[V]
+	mask  uint64
+	used  int // occupied slots, excluding the zero-key side slot
+	grow  int // occupancy threshold that triggers growth
+
+	zeroVal V
+	hasZero bool
+
+	// existed records whether the last Ref call found its key already
+	// present; it lets Upsert and RefPresent reuse Ref's probe sequence.
+	existed bool
+}
+
+// New returns a map pre-sized for about hint entries.
+func New[V any](hint int) *Map[V] {
+	m := &Map[V]{}
+	c := minCap
+	for c < hint+hint/3 { // hold hint entries below the 3/4 load factor
+		c <<= 1
+	}
+	m.alloc(c)
+	return m
+}
+
+func (m *Map[V]) alloc(capacity int) {
+	m.slots = make([]slot[V], capacity)
+	m.mask = uint64(capacity - 1)
+	m.grow = capacity * 3 / 4
+}
+
+// mix is the splitmix64 finalizer: a cheap invertible mixer that spreads
+// low-entropy keys (line addresses share high region bits) over the table.
+func mix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Len returns the number of stored entries.
+func (m *Map[V]) Len() int {
+	n := m.used
+	if m.hasZero {
+		n++
+	}
+	return n
+}
+
+// Get returns the value stored for k.
+func (m *Map[V]) Get(k uint64) (V, bool) {
+	if k == 0 {
+		return m.zeroVal, m.hasZero
+	}
+	if m.slots == nil {
+		var zero V
+		return zero, false
+	}
+	i := mix(k) & m.mask
+	for {
+		s := &m.slots[i]
+		switch s.key {
+		case k:
+			return s.val, true
+		case 0:
+			var zero V
+			return zero, false
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Put stores v for k, replacing any previous value.
+func (m *Map[V]) Put(k uint64, v V) {
+	*m.Ref(k) = v
+}
+
+// Upsert stores v for k and returns the previously stored value, if any,
+// in one probe sequence.
+func (m *Map[V]) Upsert(k uint64, v V) (prev V, existed bool) {
+	p := m.Ref(k)
+	prev, existed = *p, m.existed
+	*p = v
+	return prev, existed
+}
+
+// Ref returns a pointer to k's value slot, inserting the zero value first
+// if k is absent. The pointer is invalidated by the next insertion.
+func (m *Map[V]) Ref(k uint64) *V {
+	if k == 0 {
+		m.existed = m.hasZero
+		m.hasZero = true
+		return &m.zeroVal
+	}
+	if m.slots == nil {
+		m.alloc(minCap)
+	}
+	i := mix(k) & m.mask
+	for {
+		s := &m.slots[i]
+		switch s.key {
+		case k:
+			m.existed = true
+			return &s.val
+		case 0:
+			if m.used >= m.grow {
+				m.rehash()
+				i = mix(k) & m.mask
+				for m.slots[i].key != 0 {
+					i = (i + 1) & m.mask
+				}
+				s = &m.slots[i]
+			}
+			s.key = k
+			m.used++
+			m.existed = false
+			return &s.val
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// RefPresent is Ref plus whether the key was already present — the
+// single-probe read-modify-write primitive for "load previous state,
+// store new state" tracking.
+func (m *Map[V]) RefPresent(k uint64) (*V, bool) {
+	p := m.Ref(k)
+	return p, m.existed
+}
+
+// Range calls fn for every entry with a pointer to its value. The order is
+// the slot order — deterministic for a given key set, unrelated to
+// insertion order. fn must not insert into the map.
+func (m *Map[V]) Range(fn func(k uint64, v *V)) {
+	if m.hasZero {
+		fn(0, &m.zeroVal)
+	}
+	for i := range m.slots {
+		if m.slots[i].key != 0 {
+			fn(m.slots[i].key, &m.slots[i].val)
+		}
+	}
+}
+
+func (m *Map[V]) rehash() {
+	old := m.slots
+	m.alloc(len(old) * 2)
+	for j := range old {
+		if old[j].key == 0 {
+			continue
+		}
+		i := mix(old[j].key) & m.mask
+		for m.slots[i].key != 0 {
+			i = (i + 1) & m.mask
+		}
+		m.slots[i] = old[j]
+	}
+}

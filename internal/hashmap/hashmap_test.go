@@ -1,0 +1,193 @@
+package hashmap
+
+import (
+	"sync"
+	"testing"
+
+	"rppm/internal/prng"
+)
+
+// TestDifferential drives a Map and a built-in map with the same randomized
+// operation sequence — inserts, overwrites, lookups of present and absent
+// keys, including the zero key — and requires identical observable state
+// throughout and after growth.
+func TestDifferential(t *testing.T) {
+	rng := prng.New(7)
+	m := New[uint64](0)
+	ref := make(map[uint64]uint64)
+	// Small key space forces overwrites; occasional wide keys force growth
+	// and exercise mixing; key 0 exercises the side slot.
+	randKey := func() uint64 {
+		switch {
+		case rng.Bool(0.05):
+			return 0
+		case rng.Bool(0.2):
+			return rng.Uint64()
+		default:
+			return rng.Uint64n(4096)
+		}
+	}
+	for op := 0; op < 200000; op++ {
+		k := randKey()
+		if rng.Bool(0.6) { // write
+			v := rng.Uint64()
+			if rng.Bool(0.5) {
+				prev, existed := m.Upsert(k, v)
+				refPrev, refExisted := ref[k]
+				if existed != refExisted || prev != refPrev {
+					t.Fatalf("op %d: Upsert(%#x) = (%d, %v), want (%d, %v)", op, k, prev, existed, refPrev, refExisted)
+				}
+			} else {
+				m.Put(k, v)
+			}
+			ref[k] = v
+		} else { // read
+			got, ok := m.Get(k)
+			want, wantOK := ref[k]
+			if ok != wantOK || got != want {
+				t.Fatalf("op %d: Get(%#x) = (%d, %v), want (%d, %v)", op, k, got, ok, want, wantOK)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len() = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+	// Final sweep: every reference entry is present with the right value.
+	for k, want := range ref {
+		got, ok := m.Get(k)
+		if !ok || got != want {
+			t.Fatalf("final: Get(%#x) = (%d, %v), want (%d, true)", k, got, ok, want)
+		}
+	}
+}
+
+// TestRef checks read-modify-write through value pointers.
+func TestRef(t *testing.T) {
+	m := New[uint64](0)
+	for i := 0; i < 100; i++ {
+		for _, k := range []uint64{0, 1, 0xdeadbeef, 1 << 60} {
+			*m.Ref(k)++
+		}
+	}
+	for _, k := range []uint64{0, 1, 0xdeadbeef, 1 << 60} {
+		if got, ok := m.Get(k); !ok || got != 100 {
+			t.Fatalf("Get(%#x) = (%d, %v), want (100, true)", k, got, ok)
+		}
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", m.Len())
+	}
+}
+
+// TestStructValues checks non-scalar value types (the profiler stores
+// [2]uint64 access records).
+func TestStructValues(t *testing.T) {
+	m := New[[2]uint64](8)
+	for i := uint64(1); i <= 1000; i++ {
+		m.Put(i, [2]uint64{i, i * 2})
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		v, ok := m.Get(i)
+		if !ok || v != [2]uint64{i, i * 2} {
+			t.Fatalf("Get(%d) = (%v, %v)", i, v, ok)
+		}
+	}
+}
+
+// TestZeroValueUsable checks that the zero Map works without New.
+func TestZeroValueUsable(t *testing.T) {
+	var m Map[uint64]
+	if _, ok := m.Get(42); ok {
+		t.Fatal("empty map reports a present key")
+	}
+	m.Put(42, 7)
+	if v, ok := m.Get(42); !ok || v != 7 {
+		t.Fatalf("Get(42) = (%d, %v), want (7, true)", v, ok)
+	}
+}
+
+// TestConcurrentReaders populates a map, then hammers it from concurrent
+// readers — the engine's worker-pool sharing pattern for finished state.
+// Run with -race; any read-path mutation would be reported.
+func TestConcurrentReaders(t *testing.T) {
+	m := New[uint64](0)
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		m.Put(i*i+1, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(0); i < n; i++ {
+				k := i*i + 1
+				if v, ok := m.Get(k); !ok || v != i {
+					t.Errorf("worker %d: Get(%d) = (%d, %v), want (%d, true)", w, k, v, ok, i)
+					return
+				}
+				if _, ok := m.Get(i*i + 2); ok && i > 2 {
+					t.Errorf("worker %d: absent key %d present", w, i*i+2)
+					return
+				}
+				_ = m.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkUpsert(b *testing.B) {
+	rng := prng.New(3)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = rng.Uint64n(1 << 20)
+	}
+	b.Run("hashmap", func(b *testing.B) {
+		m := New[uint64](0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Upsert(keys[i&(len(keys)-1)], uint64(i))
+		}
+	})
+	b.Run("gomap", func(b *testing.B) {
+		m := make(map[uint64]uint64)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k := keys[i&(len(keys)-1)]
+			_, _ = m[k]
+			m[k] = uint64(i)
+		}
+	})
+}
+
+// TestRangeAndRefPresent checks Range coverage and the RefPresent flag.
+func TestRangeAndRefPresent(t *testing.T) {
+	m := New[uint64](0)
+	ref := make(map[uint64]uint64)
+	rng := prng.New(1)
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64n(2000) // include 0
+		p, present := m.RefPresent(k)
+		if _, want := ref[k]; present != want {
+			t.Fatalf("RefPresent(%d) present = %v, want %v", k, present, want)
+		}
+		*p++
+		ref[k]++
+	}
+	seen := make(map[uint64]uint64)
+	m.Range(func(k uint64, v *uint64) {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("Range visited key %d twice", k)
+		}
+		seen[k] = *v
+	})
+	if len(seen) != len(ref) {
+		t.Fatalf("Range visited %d keys, want %d", len(seen), len(ref))
+	}
+	for k, v := range ref {
+		if seen[k] != v {
+			t.Fatalf("Range saw %d=%d, want %d", k, seen[k], v)
+		}
+	}
+}

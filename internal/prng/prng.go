@@ -64,6 +64,19 @@ func (s *Source) Bool(p float64) bool {
 	return s.Float64() < p
 }
 
+// BoolThresh precomputes the comparison threshold for BoolT(p): both sides
+// of Float64() < p scale exactly by 2^53 (power-of-two scaling is exact,
+// and Float64's value m/2^53 is exact), so comparing the raw 53-bit draw
+// against p*2^53 is bit-identical to Bool(p) while skipping the
+// grid-to-unit conversion on every draw.
+func BoolThresh(p float64) float64 { return p * (1 << 53) }
+
+// BoolT returns true with the probability encoded by a BoolThresh
+// threshold, consuming one draw exactly like Bool.
+func (s *Source) BoolT(t float64) bool {
+	return float64(s.Uint64()>>11) < t
+}
+
 // Range returns a uniform float64 in [lo, hi).
 func (s *Source) Range(lo, hi float64) float64 {
 	return lo + (hi-lo)*s.Float64()
@@ -72,17 +85,163 @@ func (s *Source) Range(lo, hi float64) float64 {
 // Geometric returns a geometrically distributed integer >= 1 with success
 // probability p in (0, 1]; the mean is 1/p.
 func (s *Source) Geometric(p float64) int {
+	return s.GeometricInv(GeometricDenom(p))
+}
+
+// GeometricDenom precomputes the inverse-CDF denominator log(1-p) for
+// GeometricInv. Hot callers drawing many variates with a fixed p (the
+// workload generators draw one or two per dynamic instruction) hoist the
+// second logarithm out of the loop this way; GeometricInv(GeometricDenom(p))
+// is bit-identical to Geometric(p). The zero denominator encodes p >= 1.
+func GeometricDenom(p float64) float64 {
 	if p >= 1 {
-		return 1
+		return 0
 	}
 	if p <= 0 {
 		panic("prng: Geometric with non-positive p")
 	}
+	return math.Log(1 - p)
+}
+
+// GeometricInv returns a geometric variate >= 1 from a denominator
+// precomputed with GeometricDenom.
+func (s *Source) GeometricInv(denom float64) int {
+	if denom == 0 {
+		return 1
+	}
 	u := s.Float64()
 	// Inverse CDF of the geometric distribution on {1, 2, ...}.
-	k := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	k := int(math.Ceil(math.Log(1-u) / denom))
 	if k < 1 {
 		k = 1
+	}
+	return k
+}
+
+// GeometricTable samples capped geometric variates by threshold lookup
+// instead of logarithms. Float64 draws take values on the discrete grid
+// u = m/2^53, m in [0, 2^53), so for a fixed success probability the
+// variate is a step function of m; the table stores the exact step
+// boundaries for variates 1..cap-1 and collapses the tail into cap.
+// Sample(s) is bit-identical to min(s.Geometric(p), cap) while replacing
+// two logarithm evaluations with a short binary search — the workload
+// generators draw one or two dependence distances per dynamic instruction
+// and clamp them to the architectural register-file size, so the cap loses
+// nothing.
+type GeometricTable struct {
+	// bounds[i] is the largest grid index m for which the variate is
+	// <= i+1; nil when p >= 1 (the variate is always 1 and Geometric
+	// consumes no draw in that case).
+	bounds []uint64
+	// radix caches the variate per aligned chunk of 2^geomRadixShift grid
+	// indices: the plain variate when the whole chunk maps to one value
+	// (the overwhelmingly common case — the variate changes only 63 times
+	// across the grid), or the chunk's first variate tagged with
+	// geomRadixMixed when a step boundary falls inside the chunk, in which
+	// case Sample scans forward through bounds. One predictable load
+	// replaces a branchy binary search on almost every draw.
+	radix []uint16
+	cap   int
+}
+
+// geomGridMax is the exclusive upper bound of the Float64 grid index.
+const geomGridMax = uint64(1) << 53
+
+const (
+	geomRadixBits  = 11
+	geomRadixShift = 53 - geomRadixBits
+	geomRadixMixed = 0x8000
+)
+
+// geomAt evaluates the reference inverse-CDF at grid index m — the exact
+// computation GeometricInv performs on a draw with Float64() == m/2^53.
+func geomAt(m uint64, denom float64) int {
+	u := float64(m) / (1 << 53)
+	k := int(math.Ceil(math.Log(1-u) / denom))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// NewGeometricTable builds a sampler for success probability p capped at
+// cap (>= 2).
+func NewGeometricTable(p float64, limit int) *GeometricTable {
+	if limit < 2 {
+		panic("prng: GeometricTable cap must be >= 2")
+	}
+	t := &GeometricTable{cap: limit}
+	if p >= 1 {
+		return t
+	}
+	denom := GeometricDenom(p)
+	t.bounds = make([]uint64, limit-1)
+	for k := 1; k < limit; k++ {
+		// Largest m with variate <= k. The reference evaluation is
+		// monotone in m on the grid (1-u is exactly representable for
+		// every grid point, and log is monotone), so binary search finds
+		// the exact step boundary.
+		lo, hi := uint64(0), geomGridMax-1 // invariant: variate(lo) <= k
+		for lo < hi {
+			mid := lo + (hi-lo+1)/2
+			if geomAt(mid, denom) <= k {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		t.bounds[k-1] = lo
+	}
+	t.radix = make([]uint16, 1<<geomRadixBits)
+	for c := range t.radix {
+		first := t.lookup(uint64(c) << geomRadixShift)
+		last := t.lookup(uint64(c+1)<<geomRadixShift - 1)
+		if first == last {
+			t.radix[c] = uint16(first)
+		} else {
+			t.radix[c] = uint16(first) | geomRadixMixed
+		}
+	}
+	return t
+}
+
+// lookup returns the capped variate for grid index m by binary search over
+// the step boundaries: the smallest k with m <= bounds[k-1], or cap when m
+// lies beyond every boundary.
+func (t *GeometricTable) lookup(m uint64) int {
+	lo, hi := 0, len(t.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m <= t.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo + 1
+}
+
+// Sample returns min(variate, cap) for the next draw, consuming exactly
+// the draws Geometric would. The fast path — chunk maps to one variate —
+// is small enough to inline into the generator loop.
+func (t *GeometricTable) Sample(s *Source) int {
+	if t.bounds == nil {
+		return 1
+	}
+	m := s.Uint64() >> 11
+	r := t.radix[m>>geomRadixShift]
+	if r&geomRadixMixed == 0 {
+		return int(r)
+	}
+	return t.sampleMixed(m, int(r&^geomRadixMixed))
+}
+
+// sampleMixed resolves a draw landing in a chunk that contains step
+// boundaries by scanning forward from the chunk's first variate
+// (boundaries thin out geometrically, so these scans are short and rare).
+func (t *GeometricTable) sampleMixed(m uint64, k int) int {
+	for k-1 < len(t.bounds) && m > t.bounds[k-1] {
+		k++
 	}
 	return k
 }
@@ -106,6 +265,15 @@ func (s *Source) Pick(weights []float64) int {
 	for _, w := range weights {
 		total += w
 	}
+	return s.PickTotal(weights, total)
+}
+
+// PickTotal is Pick with the weight sum precomputed by the caller (in the
+// same left-to-right accumulation order); hot callers picking from a fixed
+// weight vector hoist the summation out of their loops. The draw and the
+// subtractive scan are unchanged, so PickTotal(w, sum(w)) is bit-identical
+// to Pick(w).
+func (s *Source) PickTotal(weights []float64, total float64) int {
 	if total <= 0 {
 		panic("prng: Pick with non-positive total weight")
 	}
@@ -117,6 +285,84 @@ func (s *Source) Pick(weights []float64) int {
 		}
 	}
 	return len(weights) - 1
+}
+
+// PickTable samples a weighted index by comparing the raw draw against
+// precomputed integer boundaries, bit-identical to Pick on the same weight
+// vector. Pick's subtractive scan is a monotone function of the draw
+// (u -> u*total and each x -> x-w round monotonically), so on the discrete
+// Float64 grid every index owns one contiguous run of grid values; the
+// table stores the exact run boundaries, found by binary search over the
+// reference scan. Sampling is then a handful of integer compares with no
+// floating-point work — the workload generators pick an instruction class
+// this way for every dynamic instruction.
+type PickTable struct {
+	// counts[j] is the number of grid values m for which the reference
+	// scan returns an index <= idx[j], keeping only the strictly
+	// increasing boundaries: unreachable (zero-weight) indices share their
+	// predecessor's count and can never be selected, so they are dropped
+	// rather than re-compared on every draw.
+	counts   []uint64
+	idx      []int
+	fallback int // Pick's fallback: the last index
+}
+
+// NewPickTable builds a sampler equivalent to Pick(weights).
+func NewPickTable(weights []float64) *PickTable {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("prng: Pick with non-positive total weight")
+	}
+	// refPick replays PickTotal's exact arithmetic for Float64() == m/2^53.
+	refPick := func(m uint64) int {
+		x := float64(m) / (1 << 53) * total
+		for i, w := range weights {
+			x -= w
+			if x < 0 {
+				return i
+			}
+		}
+		return len(weights) - 1
+	}
+	t := &PickTable{fallback: len(weights) - 1}
+	prev := uint64(0)
+	for i := 0; i < len(weights)-1; i++ {
+		if refPick(0) > i {
+			// Unreachable index (zero-weight prefix): empty run.
+			continue
+		}
+		// Largest m with refPick(m) <= i; refPick is monotone in m.
+		lo, hi := uint64(0), geomGridMax-1
+		for lo < hi {
+			mid := lo + (hi-lo+1)/2
+			if refPick(mid) <= i {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		if c := lo + 1; c > prev {
+			t.counts = append(t.counts, c)
+			t.idx = append(t.idx, i)
+			prev = c
+		}
+	}
+	return t
+}
+
+// Sample returns the weighted index for the next draw, consuming exactly
+// one Uint64 like Pick.
+func (t *PickTable) Sample(s *Source) int {
+	m := s.Uint64() >> 11
+	for j, c := range t.counts {
+		if m < c {
+			return t.idx[j]
+		}
+	}
+	return t.fallback
 }
 
 // Perm fills out with a uniformly random permutation of [0, len(out)).

@@ -191,3 +191,121 @@ func BenchmarkUint64(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestGeometricInvMatchesGeometric checks the hoisted-denominator form is
+// bit-identical to Geometric.
+func TestGeometricInvMatchesGeometric(t *testing.T) {
+	for _, p := range []float64{1.0 / 6, 0.5, 0.9, 0.08, 1, 2} {
+		a, b := New(11), New(11)
+		denom := GeometricDenom(p)
+		for i := 0; i < 100000; i++ {
+			if x, y := a.Geometric(p), b.GeometricInv(denom); x != y {
+				t.Fatalf("p=%v draw %d: Geometric=%d GeometricInv=%d", p, i, x, y)
+			}
+		}
+	}
+}
+
+// TestGeometricTableDifferential checks Sample == min(Geometric, limit)
+// draw for draw, including generator-state lockstep, for the dependence
+// means the workload suite uses.
+func TestGeometricTableDifferential(t *testing.T) {
+	for _, mean := range []float64{1, 1.5, 2, 3, 4, 5, 6, 8, 10, 12, 16} {
+		p := 1 / mean
+		tab := NewGeometricTable(p, 64)
+		a, b := New(99), New(99)
+		n := 200000
+		if testing.Short() {
+			n = 20000
+		}
+		for i := 0; i < n; i++ {
+			want := a.Geometric(p)
+			if want > 64 {
+				want = 64
+			}
+			got := tab.Sample(b)
+			if got != want {
+				t.Fatalf("mean=%v draw %d: Sample=%d want=%d", mean, i, got, want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("mean=%v: generator states diverged", mean)
+		}
+	}
+}
+
+// TestGeometricTableBoundaries exhaustively checks the reference formula
+// around every stored step boundary: the binary-search construction
+// assumes the inverse CDF is monotone on the draw grid, and this scan
+// would expose any local non-monotonicity of math.Log near a boundary.
+func TestGeometricTableBoundaries(t *testing.T) {
+	for _, mean := range []float64{2, 6, 12} {
+		p := 1 / mean
+		tab := NewGeometricTable(p, 64)
+		denom := GeometricDenom(p)
+		for k := 1; k < 64; k++ {
+			b := tab.bounds[k-1]
+			span := uint64(2048)
+			lo := uint64(0)
+			if b > span {
+				lo = b - span
+			}
+			hi := b + span
+			if hi >= geomGridMax {
+				hi = geomGridMax - 1
+			}
+			for m := lo; m <= hi; m++ {
+				got := geomAt(m, denom)
+				if m <= b && got > k {
+					t.Fatalf("mean=%v k=%d: grid %d below bound %d has variate %d", mean, k, m, b, got)
+				}
+				if m > b && got <= k {
+					t.Fatalf("mean=%v k=%d: grid %d above bound %d has variate %d", mean, k, m, b, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPickTotalMatchesPick checks the hoisted-total form is bit-identical.
+func TestPickTotalMatchesPick(t *testing.T) {
+	weights := []float64{0.42, 0.02, 0, 0, 0, 0, 0.25, 0.12, 0.19}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	a, b := New(5), New(5)
+	for i := 0; i < 100000; i++ {
+		if x, y := a.Pick(weights), b.PickTotal(weights, total); x != y {
+			t.Fatalf("draw %d: Pick=%d PickTotal=%d", i, x, y)
+		}
+	}
+}
+
+// TestPickTableDifferential checks PickTable.Sample == Pick draw for draw
+// on the suite's mix vectors plus adversarial shapes (zero prefixes, zero
+// runs, single entry).
+func TestPickTableDifferential(t *testing.T) {
+	vectors := [][]float64{
+		{0.42, 0.02, 0, 0, 0, 0, 0.25, 0.12, 0.19},
+		{0.20, 0, 0, 0.18, 0.16, 0.01, 0.27, 0.10, 0.08},
+		{0, 0, 1},
+		{1},
+		{0, 0.5, 0, 0.5, 0},
+		{1e-9, 1, 1e-9},
+	}
+	for vi, w := range vectors {
+		tab := NewPickTable(w)
+		a, b := New(uint64(vi)+31), New(uint64(vi)+31)
+		for i := 0; i < 200000; i++ {
+			want := a.Pick(w)
+			got := tab.Sample(b)
+			if got != want {
+				t.Fatalf("vector %d draw %d: Sample=%d want=%d", vi, i, got, want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("vector %d: generator states diverged", vi)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package profiler_test
+
+import (
+	"testing"
+
+	"rppm/internal/profiler"
+	"rppm/internal/workload"
+)
+
+// BenchmarkProfilerInstr measures the profiler's per-instruction cost on a
+// multithreaded barrier loop: the whole functional execution, reuse-distance
+// tracking and window sampling divided by the dynamic instruction count.
+func BenchmarkProfilerInstr(b *testing.B) {
+	prog := workload.BarrierLoop(4, 8, 20000, 1)
+	total := prog.TotalInstructions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profiler.Run(prog, profiler.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(total), "ns/instr")
+}

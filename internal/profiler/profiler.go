@@ -3,6 +3,7 @@ package profiler
 import (
 	"fmt"
 
+	"rppm/internal/hashmap"
 	"rppm/internal/stats"
 	"rppm/internal/trace"
 )
@@ -37,6 +38,16 @@ func (o Options) withDefaults() Options {
 
 const lineShift = 6 // 64-byte lines, matching every arch config
 
+// batchSize is the number of items fetched from a thread's stream per
+// refill. The canonical round-robin interleaving consumes one item per
+// thread per turn, so batches only amortize stream-side cost (interface
+// dispatch, generator dispatch) — they never reorder execution.
+const batchSize = 256
+
+// noILine is an impossible I-line value (PCs are byte addresses shifted
+// right by lineShift), marking "no line fetched yet".
+const noILine = ^uint64(0)
+
 // threadState is the per-thread functional execution state.
 type threadState struct {
 	stream  trace.ThreadStream
@@ -44,22 +55,27 @@ type threadState struct {
 	blocked bool
 	done    bool
 
+	// Pre-fetched items from the thread's deterministic stream. Items do
+	// not depend on other threads' progress, so buffering ahead of the
+	// round-robin schedule is invisible to the profile.
+	buf    []trace.Item
+	bufPos int
+	bufLen int
+
 	profile *ThreadProfile
 	epoch   *Epoch
 
-	// Epoch-local instruction index, drives window sampling.
-	epochPos int
-	// Window recording state.
+	// Window recording state. winPhase is the position within the current
+	// sampling interval: a window records while winPhase < WindowSize.
 	win       *Window
-	winStart  int
+	winPhase  int
 	producers [trace.NumRegs]int16
 
-	lastILine  uint64
-	haveILine  bool
-	ilineCount uint64               // per-thread I-line access counter
-	ilast      map[uint64]uint64    // I-line -> last access index
-	dlast      map[uint64][2]uint64 // data line -> [thread access idx, global access idx]
-	dcount     uint64               // per-thread data access counter
+	lastILine  uint64                 // last fetched I-line; noILine before any fetch
+	ilineCount uint64                 // per-thread I-line access counter
+	ilast      hashmap.Map[uint64]    // I-line -> last access index
+	dlast      hashmap.Map[[2]uint64] // data line -> [thread access idx, global access idx]
+	dcount     uint64                 // per-thread data access counter
 }
 
 type lockState struct {
@@ -71,11 +87,6 @@ type lockState struct {
 type barrierState struct {
 	arrived int
 	waiters []int
-}
-
-type writeInfo struct {
-	writer int
-	global uint64
 }
 
 // exec is the functional execution engine.
@@ -92,9 +103,21 @@ type exec struct {
 	condQueue    map[uint32][]int
 	joinWaiters  map[int][]int
 
-	globalMem  uint64
-	lastGlobal map[uint64]uint64
-	lastWrite  map[uint64]writeInfo
+	globalMem uint64
+	// global tracks, per data line, the global index of the last access by
+	// any thread and the last write (writer tid + global index), folded
+	// into one record so the hot path pays one table probe per access
+	// instead of separate last-access and last-write probes.
+	global hashmap.Map[globalRec]
+}
+
+// globalRec is the per-line global tracking record. writerP is the writing
+// thread's id plus one, so the zero record means "never accessed, never
+// written".
+type globalRec struct {
+	last    uint64 // global index of the last access
+	wGlobal uint64 // global index of the last write
+	writerP uint32 // last writer tid + 1; 0 = never written
 }
 
 // Run profiles a program and returns its microarchitecture-independent
@@ -111,17 +134,21 @@ func Run(p trace.Program, opt Options) (*Profile, error) {
 		condItems:    make(map[uint32]int),
 		condQueue:    make(map[uint32][]int),
 		joinWaiters:  make(map[int][]int),
-		lastGlobal:   make(map[uint64]uint64),
-		lastWrite:    make(map[uint64]writeInfo),
+		global:       *hashmap.New[globalRec](8192),
 	}
 	for t := 0; t < p.NumThreads(); t++ {
 		ts := &threadState{
-			stream:  p.Thread(t),
-			created: t == 0,
-			profile: &ThreadProfile{},
-			epoch:   NewEpoch(),
-			ilast:   make(map[uint64]uint64),
-			dlast:   make(map[uint64][2]uint64),
+			stream:    p.Thread(t),
+			lastILine: noILine,
+			created:   t == 0,
+			buf:       make([]trace.Item, batchSize),
+			profile:   &ThreadProfile{},
+			epoch:     NewEpoch(),
+			// Pre-size the tracking tables near typical footprints (a few
+			// hundred code lines, a few thousand data lines per thread) to
+			// skip the early rehash-and-copy doublings.
+			ilast: *hashmap.New[uint64](512),
+			dlast: *hashmap.New[[2]uint64](4096),
 		}
 		for i := range ts.producers {
 			ts.producers[i] = -1
@@ -141,19 +168,24 @@ func Run(p trace.Program, opt Options) (*Profile, error) {
 			if !ts.created || ts.blocked {
 				continue
 			}
-			item, ok := ts.stream.Next()
-			if !ok {
-				// Streams should end with an explicit exit; treat a bare
-				// end as an exit for robustness.
-				ex.handleSync(tid, trace.Event{Kind: trace.SyncThreadExit})
-				progress = true
-				continue
+			if ts.bufPos == ts.bufLen {
+				ts.bufLen = trace.FillBatch(ts.stream, ts.buf)
+				ts.bufPos = 0
+				if ts.bufLen == 0 {
+					// Streams should end with an explicit exit; treat a
+					// bare end as an exit for robustness.
+					ex.handleSync(tid, trace.Event{Kind: trace.SyncThreadExit})
+					progress = true
+					continue
+				}
 			}
+			item := &ts.buf[ts.bufPos]
+			ts.bufPos++
 			progress = true
 			if item.IsSync {
 				ex.handleSync(tid, item.Sync)
 			} else {
-				ex.instr(tid, item.Instr)
+				ex.instr(tid, &item.Instr)
 			}
 		}
 		if alldone {
@@ -187,7 +219,7 @@ func (ts *threadState) closeEpoch(e trace.Event) {
 	ts.profile.Epochs = append(ts.profile.Epochs, ts.epoch)
 	ts.profile.Events = append(ts.profile.Events, e)
 	ts.epoch = NewEpoch()
-	ts.epochPos = 0
+	ts.winPhase = 0
 }
 
 func (ts *threadState) flushWindow() {
@@ -288,8 +320,19 @@ func (ex *exec) barrierArrive(m map[uint32]*barrierState, tid int, e trace.Event
 	bs.waiters = append(bs.waiters, tid)
 }
 
+// dep resolves a source register to the window-relative index of its
+// producer, or -1 when the producer lies outside the window. A method
+// rather than a per-instruction closure: the closure allocated on every
+// sampled instruction and defeated inlining in the hot loop.
+func (ts *threadState) dep(src int8) int16 {
+	if src < 0 {
+		return -1
+	}
+	return ts.producers[src]
+}
+
 // instr records one dynamic instruction.
-func (ex *exec) instr(tid int, in trace.Instr) {
+func (ex *exec) instr(tid int, in *trace.Instr) {
 	ts := ex.threads[tid]
 	ep := ts.epoch
 	ep.Instr++
@@ -298,17 +341,15 @@ func (ex *exec) instr(tid int, in trace.Instr) {
 	// Instruction stream: record a reuse sample when the fetch crosses into
 	// a different line.
 	iline := in.PC >> lineShift
-	if !ts.haveILine || iline != ts.lastILine {
-		if last, ok := ts.ilast[iline]; ok {
+	if iline != ts.lastILine {
+		if last, ok := ts.ilast.Upsert(iline, ts.ilineCount); ok {
 			ep.InstrRD.Add(int64(ts.ilineCount - last - 1))
 		} else {
 			ep.InstrRD.Add(stats.Infinite)
 		}
-		ts.ilast[iline] = ts.ilineCount
 		ts.ilineCount++
 		ep.ILineAccesses++
 		ts.lastILine = iline
-		ts.haveILine = true
 	}
 
 	if in.Class == trace.Branch {
@@ -319,16 +360,17 @@ func (ex *exec) instr(tid int, in trace.Instr) {
 	var globalRD int64 = -1
 	if in.Class.IsMem() {
 		line := in.Addr >> lineShift
-		if lg, ok := ex.lastGlobal[line]; ok {
-			globalRD = int64(ex.globalMem - lg - 1)
+		var privateRD int64
+		g, touched := ex.global.RefPresent(line)
+		if touched {
+			globalRD = int64(ex.globalMem - g.last - 1)
 		} else {
 			globalRD = stats.Infinite
 		}
 		ep.GlobalRD.Add(globalRD)
 
-		var privateRD int64
-		if rec, ok := ts.dlast[line]; ok {
-			if lw, ok := ex.lastWrite[line]; ok && lw.writer != tid && lw.global > rec[1] && !ex.opt.NoCoherence {
+		if rec, ok := ts.dlast.Upsert(line, [2]uint64{ts.dcount, ex.globalMem}); ok {
+			if g.writerP != 0 && int(g.writerP-1) != tid && g.wGlobal > rec[1] && !ex.opt.NoCoherence {
 				// Another thread wrote the line since our last access:
 				// write-invalidation, the private copy is gone.
 				privateRD = stats.Infinite
@@ -341,10 +383,10 @@ func (ex *exec) instr(tid int, in trace.Instr) {
 		}
 		ep.PrivateRD.Add(privateRD)
 
-		ex.lastGlobal[line] = ex.globalMem
-		ts.dlast[line] = [2]uint64{ts.dcount, ex.globalMem}
+		g.last = ex.globalMem
 		if in.Class == trace.Store {
-			ex.lastWrite[line] = writeInfo{writer: tid, global: ex.globalMem}
+			g.wGlobal = ex.globalMem
+			g.writerP = uint32(tid) + 1
 			ep.Stores++
 		} else {
 			ep.Loads++
@@ -353,13 +395,24 @@ func (ex *exec) instr(tid int, in trace.Instr) {
 		ts.dcount++
 	}
 
-	// Micro-trace sampling.
-	phase := ts.epochPos % ex.opt.WindowInterval
+	// Micro-trace sampling. winPhase is the position within the sampling
+	// interval; the first WindowSize instructions of each interval are
+	// recorded.
+	phase := ts.winPhase
 	switch {
 	case phase == 0:
 		ts.flushWindow()
-		ts.win = &Window{}
-		ts.winStart = ts.epochPos
+		ws := ex.opt.WindowSize
+		// Exact-capacity buffers: windows are retained in the profile, so
+		// they cannot be pooled, but sizing them up front replaces the
+		// repeated append-growth reallocations of the sampling loop.
+		ts.win = &Window{
+			Classes:  make([]trace.Class, 0, ws),
+			Dep1:     make([]int16, 0, ws),
+			Dep2:     make([]int16, 0, ws),
+			GlobalRD: make([]int64, 0, ws),
+			IsLoad:   make([]bool, 0, ws),
+		}
 		for i := range ts.producers {
 			ts.producers[i] = -1
 		}
@@ -367,16 +420,9 @@ func (ex *exec) instr(tid int, in trace.Instr) {
 	case phase < ex.opt.WindowSize:
 		w := ts.win
 		if w != nil {
-			idx := int16(ts.epochPos - ts.winStart)
-			dep := func(src int8) int16 {
-				if src < 0 {
-					return -1
-				}
-				return ts.producers[src]
-			}
 			w.Classes = append(w.Classes, in.Class)
-			w.Dep1 = append(w.Dep1, dep(in.Src1))
-			w.Dep2 = append(w.Dep2, dep(in.Src2))
+			w.Dep1 = append(w.Dep1, ts.dep(in.Src1))
+			w.Dep2 = append(w.Dep2, ts.dep(in.Src2))
 			if in.Class.IsMem() {
 				w.GlobalRD = append(w.GlobalRD, globalRD)
 			} else {
@@ -384,11 +430,14 @@ func (ex *exec) instr(tid int, in trace.Instr) {
 			}
 			w.IsLoad = append(w.IsLoad, in.Class == trace.Load)
 			if in.Dst >= 0 {
-				ts.producers[in.Dst] = idx
+				ts.producers[in.Dst] = int16(phase)
 			}
 		}
 	case phase == ex.opt.WindowSize:
 		ts.flushWindow()
 	}
-	ts.epochPos++
+	ts.winPhase++
+	if ts.winPhase == ex.opt.WindowInterval {
+		ts.winPhase = 0
+	}
 }

@@ -1,0 +1,519 @@
+// The retained naive reference implementation of the profiler: the
+// pre-optimization functional execution engine, kept verbatim (Go maps for
+// reuse tracking, one ThreadStream.Next interface call per item, per-sample
+// dep closure, modulo-based window phase). TestProfilerMatchesReference
+// requires the optimized profiler to reproduce its output bit for bit.
+package profiler_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rppm/internal/profiler"
+	"rppm/internal/stats"
+	"rppm/internal/trace"
+	"rppm/internal/workload"
+)
+
+type Options = profiler.Options
+type Epoch = profiler.Epoch
+type Window = profiler.Window
+type Profile = profiler.Profile
+type ThreadProfile = profiler.ThreadProfile
+
+var NewEpoch = profiler.NewEpoch
+
+// refWithDefaults mirrors the unexported Options.withDefaults.
+func refWithDefaults(o Options) Options {
+	if o.WindowSize <= 0 {
+		o.WindowSize = 512
+	}
+	if o.WindowInterval < o.WindowSize {
+		o.WindowInterval = 4096
+		if o.WindowInterval < o.WindowSize {
+			o.WindowInterval = o.WindowSize
+		}
+	}
+	return o
+}
+
+const refLineShift = 6 // 64-byte lines, matching every arch config
+
+// refThreadState is the per-thread functional refExecution state.
+type refThreadState struct {
+	stream  trace.ThreadStream
+	created bool
+	blocked bool
+	done    bool
+
+	profile *ThreadProfile
+	epoch   *Epoch
+
+	// Epoch-local instruction index, drives window sampling.
+	epochPos int
+	// Window recording state.
+	win       *Window
+	winStart  int
+	producers [trace.NumRegs]int16
+
+	lastILine  uint64
+	haveILine  bool
+	ilineCount uint64               // per-thread I-line access counter
+	ilast      map[uint64]uint64    // I-line -> last access index
+	dlast      map[uint64][2]uint64 // data line -> [thread access idx, global access idx]
+	dcount     uint64               // per-thread data access counter
+}
+
+type refLockState struct {
+	held   bool
+	holder int
+	queue  []int
+}
+
+type refBarrierState struct {
+	arrived int
+	waiters []int
+}
+
+type refWriteInfo struct {
+	writer int
+	global uint64
+}
+
+// refExec is the functional refExecution engine.
+type refExec struct {
+	prog trace.Program
+	opt  Options
+
+	threads []*refThreadState
+
+	locks        map[uint32]*refLockState
+	barriers     map[uint32]*refBarrierState
+	condBarriers map[uint32]*refBarrierState
+	condItems    map[uint32]int
+	condQueue    map[uint32][]int
+	joinWaiters  map[int][]int
+
+	globalMem  uint64
+	lastGlobal map[uint64]uint64
+	lastWrite  map[uint64]refWriteInfo
+}
+
+// Run profiles a program and returns its microarchitecture-independent
+// profile. It returns an error if the program deadlocks under the canonical
+// round-robin interleaving.
+func refRun(p trace.Program, opt Options) (*Profile, error) {
+	opt = refWithDefaults(opt)
+	ex := &refExec{
+		prog:         p,
+		opt:          opt,
+		locks:        make(map[uint32]*refLockState),
+		barriers:     make(map[uint32]*refBarrierState),
+		condBarriers: make(map[uint32]*refBarrierState),
+		condItems:    make(map[uint32]int),
+		condQueue:    make(map[uint32][]int),
+		joinWaiters:  make(map[int][]int),
+		lastGlobal:   make(map[uint64]uint64),
+		lastWrite:    make(map[uint64]refWriteInfo),
+	}
+	for t := 0; t < p.NumThreads(); t++ {
+		ts := &refThreadState{
+			stream:  p.Thread(t),
+			created: t == 0,
+			profile: &ThreadProfile{},
+			epoch:   NewEpoch(),
+			ilast:   make(map[uint64]uint64),
+			dlast:   make(map[uint64][2]uint64),
+		}
+		for i := range ts.producers {
+			ts.producers[i] = -1
+		}
+		ex.threads = append(ex.threads, ts)
+	}
+
+	for {
+		progress := false
+		alldone := true
+		for tid := range ex.threads {
+			ts := ex.threads[tid]
+			if ts.done {
+				continue
+			}
+			alldone = false
+			if !ts.created || ts.blocked {
+				continue
+			}
+			item, ok := ts.stream.Next()
+			if !ok {
+				// Streams should end with an explicit exit; treat a bare
+				// end as an exit for robustness.
+				ex.handleSync(tid, trace.Event{Kind: trace.SyncThreadExit})
+				progress = true
+				continue
+			}
+			progress = true
+			if item.IsSync {
+				ex.handleSync(tid, item.Sync)
+			} else {
+				ex.instr(tid, item.Instr)
+			}
+		}
+		if alldone {
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("profiler: deadlock in %q: %s", p.Name(), ex.describeBlocked())
+		}
+	}
+
+	prof := &Profile{Name: p.Name(), NumThreads: p.NumThreads()}
+	for _, ts := range ex.threads {
+		prof.Threads = append(prof.Threads, ts.profile)
+	}
+	return prof, nil
+}
+
+func (ex *refExec) describeBlocked() string {
+	s := ""
+	for tid, ts := range ex.threads {
+		if !ts.done && (ts.blocked || !ts.created) {
+			s += fmt.Sprintf(" t%d(created=%v)", tid, ts.created)
+		}
+	}
+	return s
+}
+
+// closeEpoch finalizes the thread's current epoch at event e.
+func (ts *refThreadState) closeEpoch(e trace.Event) {
+	ts.flushWindow()
+	ts.profile.Epochs = append(ts.profile.Epochs, ts.epoch)
+	ts.profile.Events = append(ts.profile.Events, e)
+	ts.epoch = NewEpoch()
+	ts.epochPos = 0
+}
+
+func (ts *refThreadState) flushWindow() {
+	if ts.win != nil && ts.win.Len() > 0 {
+		ts.epoch.Windows = append(ts.epoch.Windows, *ts.win)
+	}
+	ts.win = nil
+}
+
+func (ex *refExec) handleSync(tid int, e trace.Event) {
+	ts := ex.threads[tid]
+	ts.closeEpoch(e)
+	switch e.Kind {
+	case trace.SyncBarrier:
+		ex.barrierArrive(ex.barriers, tid, e)
+	case trace.SyncCondWaitMarker:
+		if e.Arg > 0 {
+			// Condition variable used as a barrier (paper's Algorithm 1).
+			ex.barrierArrive(ex.condBarriers, tid, e)
+			return
+		}
+		// Producer-consumer wait: consume an item or block.
+		if ex.condItems[e.Obj] > 0 {
+			ex.condItems[e.Obj]--
+			return
+		}
+		ts.blocked = true
+		ex.condQueue[e.Obj] = append(ex.condQueue[e.Obj], tid)
+	case trace.SyncCondBroadcast, trace.SyncCondSignal:
+		ex.condItems[e.Obj]++
+		if q := ex.condQueue[e.Obj]; len(q) > 0 {
+			waiter := q[0]
+			ex.condQueue[e.Obj] = q[1:]
+			ex.condItems[e.Obj]--
+			ex.threads[waiter].blocked = false
+		}
+	case trace.SyncLockAcquire:
+		l := ex.locks[e.Obj]
+		if l == nil {
+			l = &refLockState{}
+			ex.locks[e.Obj] = l
+		}
+		if l.held {
+			ts.blocked = true
+			l.queue = append(l.queue, tid)
+			return
+		}
+		l.held = true
+		l.holder = tid
+	case trace.SyncLockRelease:
+		l := ex.locks[e.Obj]
+		if l == nil || !l.held || l.holder != tid {
+			// Structural bug in the workload; Validate should have caught
+			// it. Keep going rather than corrupt state.
+			return
+		}
+		if len(l.queue) > 0 {
+			l.holder = l.queue[0]
+			l.queue = l.queue[1:]
+			ex.threads[l.holder].blocked = false
+		} else {
+			l.held = false
+		}
+	case trace.SyncThreadCreate:
+		if e.Arg > 0 && e.Arg < len(ex.threads) {
+			ex.threads[e.Arg].created = true
+		}
+	case trace.SyncThreadJoin:
+		if e.Arg >= 0 && e.Arg < len(ex.threads) && !ex.threads[e.Arg].done {
+			ts.blocked = true
+			ex.joinWaiters[e.Arg] = append(ex.joinWaiters[e.Arg], tid)
+		}
+	case trace.SyncThreadExit:
+		ts.done = true
+		for _, w := range ex.joinWaiters[tid] {
+			ex.threads[w].blocked = false
+		}
+		delete(ex.joinWaiters, tid)
+	}
+}
+
+func (ex *refExec) barrierArrive(m map[uint32]*refBarrierState, tid int, e trace.Event) {
+	bs := m[e.Obj]
+	if bs == nil {
+		bs = &refBarrierState{}
+		m[e.Obj] = bs
+	}
+	bs.arrived++
+	if bs.arrived >= e.Arg {
+		for _, w := range bs.waiters {
+			ex.threads[w].blocked = false
+		}
+		bs.arrived = 0
+		bs.waiters = bs.waiters[:0]
+		return
+	}
+	ex.threads[tid].blocked = true
+	bs.waiters = append(bs.waiters, tid)
+}
+
+// instr records one dynamic instruction.
+func (ex *refExec) instr(tid int, in trace.Instr) {
+	ts := ex.threads[tid]
+	ep := ts.epoch
+	ep.Instr++
+	ep.Mix[in.Class]++
+
+	// Instruction stream: record a reuse sample when the fetch crosses into
+	// a different line.
+	iline := in.PC >> refLineShift
+	if !ts.haveILine || iline != ts.lastILine {
+		if last, ok := ts.ilast[iline]; ok {
+			ep.InstrRD.Add(int64(ts.ilineCount - last - 1))
+		} else {
+			ep.InstrRD.Add(stats.Infinite)
+		}
+		ts.ilast[iline] = ts.ilineCount
+		ts.ilineCount++
+		ep.ILineAccesses++
+		ts.lastILine = iline
+		ts.haveILine = true
+	}
+
+	if in.Class == trace.Branch {
+		ep.Branch.Record(in.BranchID, in.Taken)
+	}
+
+	// Data memory: global and private reuse distances, coherence detection.
+	var globalRD int64 = -1
+	if in.Class.IsMem() {
+		line := in.Addr >> refLineShift
+		if lg, ok := ex.lastGlobal[line]; ok {
+			globalRD = int64(ex.globalMem - lg - 1)
+		} else {
+			globalRD = stats.Infinite
+		}
+		ep.GlobalRD.Add(globalRD)
+
+		var privateRD int64
+		if rec, ok := ts.dlast[line]; ok {
+			if lw, ok := ex.lastWrite[line]; ok && lw.writer != tid && lw.global > rec[1] && !ex.opt.NoCoherence {
+				// Another thread wrote the line since our last access:
+				// write-invalidation, the private copy is gone.
+				privateRD = stats.Infinite
+				ep.CoherenceInvalidations++
+			} else {
+				privateRD = int64(ts.dcount - rec[0] - 1)
+			}
+		} else {
+			privateRD = stats.Infinite
+		}
+		ep.PrivateRD.Add(privateRD)
+
+		ex.lastGlobal[line] = ex.globalMem
+		ts.dlast[line] = [2]uint64{ts.dcount, ex.globalMem}
+		if in.Class == trace.Store {
+			ex.lastWrite[line] = refWriteInfo{writer: tid, global: ex.globalMem}
+			ep.Stores++
+		} else {
+			ep.Loads++
+		}
+		ex.globalMem++
+		ts.dcount++
+	}
+
+	// Micro-trace sampling.
+	phase := ts.epochPos % ex.opt.WindowInterval
+	switch {
+	case phase == 0:
+		ts.flushWindow()
+		ts.win = &Window{}
+		ts.winStart = ts.epochPos
+		for i := range ts.producers {
+			ts.producers[i] = -1
+		}
+		fallthrough
+	case phase < ex.opt.WindowSize:
+		w := ts.win
+		if w != nil {
+			idx := int16(ts.epochPos - ts.winStart)
+			dep := func(src int8) int16 {
+				if src < 0 {
+					return -1
+				}
+				return ts.producers[src]
+			}
+			w.Classes = append(w.Classes, in.Class)
+			w.Dep1 = append(w.Dep1, dep(in.Src1))
+			w.Dep2 = append(w.Dep2, dep(in.Src2))
+			if in.Class.IsMem() {
+				w.GlobalRD = append(w.GlobalRD, globalRD)
+			} else {
+				w.GlobalRD = append(w.GlobalRD, -1)
+			}
+			w.IsLoad = append(w.IsLoad, in.Class == trace.Load)
+			if in.Dst >= 0 {
+				ts.producers[in.Dst] = idx
+			}
+		}
+	case phase == ex.opt.WindowSize:
+		ts.flushWindow()
+	}
+	ts.epochPos++
+}
+
+// equalProfiles compares two profiles structurally, reporting the first
+// difference. Histograms and branch profiles are compared through their
+// observable state (reflect.DeepEqual would compare cache internals).
+func equalProfiles(a, b *Profile) error {
+	if a.Name != b.Name || a.NumThreads != b.NumThreads || len(a.Threads) != len(b.Threads) {
+		return fmt.Errorf("profile headers differ: %q/%d/%d vs %q/%d/%d",
+			a.Name, a.NumThreads, len(a.Threads), b.Name, b.NumThreads, len(b.Threads))
+	}
+	for t := range a.Threads {
+		at, bt := a.Threads[t], b.Threads[t]
+		if len(at.Epochs) != len(bt.Epochs) || len(at.Events) != len(bt.Events) {
+			return fmt.Errorf("t%d: %d epochs/%d events vs %d/%d", t, len(at.Epochs), len(at.Events), len(bt.Epochs), len(bt.Events))
+		}
+		for i := range at.Events {
+			if at.Events[i] != bt.Events[i] {
+				return fmt.Errorf("t%d event %d: %v vs %v", t, i, at.Events[i], bt.Events[i])
+			}
+		}
+		for i := range at.Epochs {
+			if err := equalEpochs(at.Epochs[i], bt.Epochs[i]); err != nil {
+				return fmt.Errorf("t%d epoch %d: %w", t, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+func equalEpochs(a, b *Epoch) error {
+	if a.Instr != b.Instr || a.Mix != b.Mix || a.Loads != b.Loads || a.Stores != b.Stores ||
+		a.ILineAccesses != b.ILineAccesses || a.CoherenceInvalidations != b.CoherenceInvalidations {
+		return fmt.Errorf("counters differ: %+v vs %+v", a, b)
+	}
+	for _, h := range []struct {
+		name string
+		x, y *stats.Histogram
+	}{{"private", a.PrivateRD, b.PrivateRD}, {"global", a.GlobalRD, b.GlobalRD}, {"instr", a.InstrRD, b.InstrRD}} {
+		if err := equalHistograms(h.x, h.y); err != nil {
+			return fmt.Errorf("%s RD: %w", h.name, err)
+		}
+	}
+	if a.Branch.Branches() != b.Branch.Branches() ||
+		a.Branch.NumSites() != b.Branch.NumSites() ||
+		a.Branch.LinearEntropy() != b.Branch.LinearEntropy() ||
+		a.Branch.MissRate(4<<10) != b.Branch.MissRate(4<<10) {
+		return fmt.Errorf("branch profiles differ")
+	}
+	if len(a.Windows) != len(b.Windows) {
+		return fmt.Errorf("%d windows vs %d", len(a.Windows), len(b.Windows))
+	}
+	for i := range a.Windows {
+		if err := equalWindows(&a.Windows[i], &b.Windows[i]); err != nil {
+			return fmt.Errorf("window %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func equalWindows(a, b *Window) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("length %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Classes {
+		if a.Classes[i] != b.Classes[i] || a.Dep1[i] != b.Dep1[i] || a.Dep2[i] != b.Dep2[i] ||
+			a.GlobalRD[i] != b.GlobalRD[i] || a.IsLoad[i] != b.IsLoad[i] {
+			return fmt.Errorf("slot %d differs", i)
+		}
+	}
+	return nil
+}
+
+func equalHistograms(a, b *stats.Histogram) error {
+	if a.Count() != b.Count() || a.InfiniteCount() != b.InfiniteCount() ||
+		a.Mean() != b.Mean() || a.Max() != b.Max() {
+		return fmt.Errorf("summary differs: %d/%d/%v/%d vs %d/%d/%v/%d",
+			a.Count(), a.InfiniteCount(), a.Mean(), a.Max(),
+			b.Count(), b.InfiniteCount(), b.Mean(), b.Max())
+	}
+	for _, v := range []int64{0, 1, 2, 7, 63, 512, 4095, 4096, 1 << 14, 1 << 20} {
+		if a.CountAbove(v) != b.CountAbove(v) {
+			return fmt.Errorf("CountAbove(%d): %v vs %v", v, a.CountAbove(v), b.CountAbove(v))
+		}
+	}
+	return nil
+}
+
+// TestProfilerMatchesReference runs the optimized profiler and the retained
+// naive reference over two suite benchmarks (one Rodinia-style, one
+// Parsec-style) and requires bit-identical profiles: every counter, every
+// histogram, every sampled window, every dependence edge.
+func TestProfilerMatchesReference(t *testing.T) {
+	for _, name := range []string{"backprop", "blackscholes"} {
+		bm, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := bm.Build(1, 0.05)
+		got, err := profiler.Run(prog, profiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := refRun(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := equalProfiles(got, want); err != nil {
+			t.Errorf("%s: optimized profiler diverges from naive reference: %v", name, err)
+		}
+		// Also under the coherence ablation, which takes a different branch
+		// in the hot loop.
+		got, err = profiler.Run(prog, profiler.Options{NoCoherence: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err = refRun(prog, Options{NoCoherence: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := equalProfiles(got, want); err != nil {
+			t.Errorf("%s (NoCoherence): diverges: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package sim_test
+
+import (
+	"testing"
+
+	"rppm/internal/arch"
+	"rppm/internal/sim"
+	"rppm/internal/workload"
+)
+
+// BenchmarkSimStep measures the cycle-level simulator's per-instruction cost
+// (core model + caches + coherence + scheduling) on a multithreaded barrier
+// loop at the paper's base configuration.
+func BenchmarkSimStep(b *testing.B) {
+	prog := workload.BarrierLoop(4, 8, 20000, 1)
+	total := prog.TotalInstructions()
+	cfg := arch.Base()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(prog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(total), "ns/instr")
+}

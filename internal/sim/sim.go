@@ -74,47 +74,72 @@ const (
 	numPorts
 )
 
-func portOf(c trace.Class) int {
-	switch c {
-	case trace.IntALU:
-		return portIntALU
-	case trace.IntMul, trace.IntDiv:
-		return portIntMul
-	case trace.FPAdd, trace.FPMul, trace.FPDiv:
-		return portFP
-	case trace.Load:
-		return portLoad
-	case trace.Store:
-		return portStore
-	default:
-		return portBranch
-	}
+// portTable maps an instruction class to its issue-port group; a direct
+// array load on the per-instruction path.
+var portTable = [trace.NumClasses]uint8{
+	trace.IntALU: portIntALU,
+	trace.IntMul: portIntMul,
+	trace.IntDiv: portIntMul,
+	trace.FPAdd:  portFP,
+	trace.FPMul:  portFP,
+	trace.FPDiv:  portFP,
+	trace.Load:   portLoad,
+	trace.Store:  portStore,
+	trace.Branch: portBranch,
 }
+
+func portOf(c trace.Class) int {
+	if int(c) < len(portTable) {
+		return int(portTable[c])
+	}
+	return portBranch
+}
+
+// noILine is an impossible I-line value (PCs are byte addresses shifted
+// right by six), marking "no line fetched yet".
+const noILine = ^uint64(0)
+
+// batchSize is the number of items fetched from a thread's stream per
+// refill. Streams are per-thread deterministic, so buffering ahead of the
+// global scheduler cannot change what any thread executes — only stream
+// dispatch cost is amortized.
+const batchSize = 256
 
 type simThread struct {
 	id     int
 	core   int
 	stream trace.ThreadStream
 
+	// Pre-fetched items from the thread's stream.
+	buf    []trace.Item
+	bufPos int
+	bufLen int
+
 	created bool
 	blocked bool
 	done    bool
 
 	// Timing state. clock == prevCommit is the thread's local time.
+	// floor is the last pipeline-reset time: rob and regReady entries are
+	// interpreted as max(entry, floor), which lets resumeAt run in O(1)
+	// instead of clearing ROBSize+NumRegs slots on every synchronization
+	// event. (Entries written before a reset never exceed the reset time:
+	// commit times are monotone and bound every complete time, so the
+	// lazy max reads exactly what an eager reset would store.)
 	clock        float64
 	prevCommit   float64
 	prevDispatch float64
 	frontendFree float64
+	floor        float64
 	rob          []float64 // ring of the last ROBSize commit times
 	robPos       int
 	regReady     [trace.NumRegs]float64
 	portFree     [numPorts]float64
-	outstanding  []float64 // completion times of in-flight memory misses
+	outstanding  []float64 // completion times of in-flight misses; cap MSHRs
 
 	bp            *bpred.Tournament
-	lastILine     uint64
-	haveILine     bool
-	frontendCause uint8 // what last stalled the front end (for attribution)
+	lastILine     uint64 // last fetched I-line; noILine before any fetch
+	frontendCause uint8  // what last stalled the front end (for attribution)
 
 	// Accounting.
 	instr      uint64
@@ -153,6 +178,11 @@ type engine struct {
 	hier    *cache.Hierarchy
 	threads []*simThread
 
+	// Precomputed reciprocals: step charged three to four FP divisions per
+	// instruction for bandwidth terms that are configuration constants.
+	invWidth float64           // 1 / DispatchWidth
+	invPort  [numPorts]float64 // 1 / ports in the group
+
 	locks        map[uint32]*simLock
 	barriers     map[uint32]*simBarrier
 	condBarriers map[uint32]*simBarrier
@@ -176,14 +206,21 @@ func Run(p trace.Program, cfg arch.Config) (*Result, error) {
 		producers:    make(map[uint32]*producerState),
 		joinWaiters:  make(map[int][]int),
 	}
+	e.invWidth = 1 / float64(cfg.DispatchWidth)
+	for pg := 0; pg < numPorts; pg++ {
+		e.invPort[pg] = 1 / portCount(&e.cfg, pg)
+	}
 	for t := 0; t < p.NumThreads(); t++ {
 		st := &simThread{
-			id:      t,
-			core:    t % cfg.Cores,
-			stream:  p.Thread(t),
-			created: t == 0,
-			rob:     make([]float64, cfg.ROBSize),
-			bp:      bpred.New(cfg.BPredBytes),
+			id:          t,
+			lastILine:   noILine,
+			core:        t % cfg.Cores,
+			stream:      p.Thread(t),
+			buf:         make([]trace.Item, batchSize),
+			created:     t == 0,
+			rob:         make([]float64, cfg.ROBSize),
+			outstanding: make([]float64, 0, cfg.MSHRs),
+			bp:          bpred.New(cfg.BPredBytes),
 		}
 		e.threads = append(e.threads, st)
 	}
@@ -217,16 +254,21 @@ func Run(p trace.Program, cfg arch.Config) (*Result, error) {
 		}
 		limit := cur.clock + quantum
 		for cur.clock <= limit && !cur.done && !cur.blocked {
-			item, ok := cur.stream.Next()
-			if !ok {
-				e.handleSync(cur, trace.Event{Kind: trace.SyncThreadExit})
-				break
+			if cur.bufPos == cur.bufLen {
+				cur.bufLen = trace.FillBatch(cur.stream, cur.buf)
+				cur.bufPos = 0
+				if cur.bufLen == 0 {
+					e.handleSync(cur, trace.Event{Kind: trace.SyncThreadExit})
+					break
+				}
 			}
+			item := &cur.buf[cur.bufPos]
+			cur.bufPos++
 			if item.IsSync {
 				e.handleSync(cur, item.Sync)
 				break // sync events end the quantum: state may have changed
 			}
-			e.step(cur, item.Instr)
+			e.step(cur, &item.Instr)
 		}
 	}
 
@@ -261,18 +303,17 @@ func (st *simThread) activeTotal() float64 {
 
 // resumeAt restarts a thread's pipeline at time t (after a synchronization
 // event): the ROB is drained, all registers are ready, the front-end is
-// clean.
+// clean. The ROB ring and register file are reset lazily through floor —
+// every entry they hold is a commit or complete time bounded by the
+// thread's clock, which t can only exceed — so this is O(1) per sync
+// event. portFree entries can exceed complete times by a fractional cycle,
+// so the few of them are reset eagerly.
 func (st *simThread) resumeAt(t float64) {
 	st.clock = t
 	st.prevCommit = t
 	st.prevDispatch = t
 	st.frontendFree = t
-	for i := range st.rob {
-		st.rob[i] = t
-	}
-	for i := range st.regReady {
-		st.regReady[i] = t
-	}
+	st.floor = t
 	for i := range st.portFree {
 		st.portFree[i] = t
 	}
@@ -450,14 +491,14 @@ const (
 
 // step advances the thread's timing state by one instruction (the
 // instruction-window-centric core model).
-func (e *engine) step(st *simThread, in trace.Instr) {
+func (e *engine) step(st *simThread, in *trace.Instr) {
 	cfg := &e.cfg
-	width := float64(cfg.DispatchWidth)
+	invWidth := e.invWidth
 
 	// Front end: I-cache and mispredict refill determine fetch readiness.
 	fetchReady := st.frontendFree
 	iline := in.PC >> 6
-	if !st.haveILine || iline != st.lastILine {
+	if iline != st.lastILine {
 		lat, _ := e.hier.AccessInstr(st.core, in.PC)
 		if lat > 0 {
 			fetchReady += float64(lat)
@@ -465,26 +506,28 @@ func (e *engine) step(st *simThread, in trace.Instr) {
 			st.frontendCause = feICache
 		}
 		st.lastILine = iline
-		st.haveILine = true
 	}
 
 	// Dispatch: bandwidth, ROB occupancy, front-end readiness.
 	dispatch := fetchReady
-	if d := st.prevDispatch + 1/width; d > dispatch {
+	if d := st.prevDispatch + invWidth; d > dispatch {
 		dispatch = d
 	}
-	if r := st.rob[st.robPos]; r > dispatch {
-		dispatch = r // ROB full: wait for the oldest entry to commit
+	// ROB full: wait for the oldest entry to commit. Entries predating the
+	// last pipeline reset read as the reset time (floor).
+	if r := st.rob[st.robPos]; r > dispatch && r > st.floor {
+		dispatch = r
 	}
 	st.prevDispatch = dispatch
 	frontendBound := dispatch == fetchReady && fetchReady > st.epochStart
 
-	// Issue: operand readiness and port contention.
+	// Issue: operand readiness and port contention. Register-ready times
+	// below floor read as floor, which dispatch already bounds.
 	ready := dispatch
-	if in.Src1 >= 0 && st.regReady[in.Src1] > ready {
+	if in.Src1 >= 0 && st.regReady[in.Src1] > ready && st.regReady[in.Src1] > st.floor {
 		ready = st.regReady[in.Src1]
 	}
-	if in.Src2 >= 0 && st.regReady[in.Src2] > ready {
+	if in.Src2 >= 0 && st.regReady[in.Src2] > ready && st.regReady[in.Src2] > st.floor {
 		ready = st.regReady[in.Src2]
 	}
 	pg := portOf(in.Class)
@@ -492,7 +535,7 @@ func (e *engine) step(st *simThread, in trace.Instr) {
 	if st.portFree[pg] > issue {
 		issue = st.portFree[pg]
 	}
-	st.portFree[pg] = issue + 1/portCount(cfg, pg)
+	st.portFree[pg] = issue + e.invPort[pg]
 
 	// Execute.
 	var complete float64
@@ -536,7 +579,7 @@ func (e *engine) step(st *simThread, in trace.Instr) {
 
 	// In-order commit with width bandwidth.
 	commit := complete
-	if c := st.prevCommit + 1/width; c > commit {
+	if c := st.prevCommit + invWidth; c > commit {
 		commit = c
 	}
 
@@ -545,7 +588,7 @@ func (e *engine) step(st *simThread, in trace.Instr) {
 	// smooth-flow share (1/width) and dependence/port stalls are base; the
 	// excess beyond smooth flow goes to the binding penalty.
 	gap := commit - st.prevCommit
-	excess := gap - 1/width
+	excess := gap - invWidth
 	if excess > 0 {
 		switch {
 		case memLevel == cache.LevelL2:
@@ -580,7 +623,10 @@ func (e *engine) step(st *simThread, in trace.Instr) {
 }
 
 // mshrAdmit delays issue until an MSHR is available and prunes completed
-// misses.
+// misses. The buffer is a fixed-capacity scratch treated as a multiset
+// (only minima and cardinality are ever observed): pruning compacts in
+// place and the blocking miss is removed by swapping in the last element,
+// so the steady state allocates and shifts nothing.
 func (st *simThread) mshrAdmit(issue float64, mshrs int) float64 {
 	live := st.outstanding[:0]
 	for _, c := range st.outstanding {
@@ -600,7 +646,9 @@ func (st *simThread) mshrAdmit(issue float64, mshrs int) float64 {
 		if st.outstanding[minI] > issue {
 			issue = st.outstanding[minI]
 		}
-		st.outstanding = append(st.outstanding[:minI], st.outstanding[minI+1:]...)
+		last := len(st.outstanding) - 1
+		st.outstanding[minI] = st.outstanding[last]
+		st.outstanding = st.outstanding[:last]
 	}
 	return issue
 }

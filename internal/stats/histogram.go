@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 )
 
 // linearCutoff is the largest value tracked with an exact counter. Values
@@ -34,6 +35,17 @@ type Histogram struct {
 	count    uint64   // total samples, including infinite
 	sum      float64  // sum of finite samples
 	max      int64    // largest finite sample
+
+	// suffix caches suffix[i] = sum of linear[i:] for CountAbove, which the
+	// StatStack model evaluates at hundreds of sample points per model
+	// build; without the cache each evaluation rescans the linear array.
+	// Lazily built, dropped on every mutation. Substituting the integer
+	// suffix sum for the element-by-element float accumulation is
+	// bit-identical: every count and every partial sum is an integer far
+	// below 2^53, so no float addition in the replaced loop ever rounds.
+	// Atomic because finished profiles are read by concurrent prediction
+	// workers: racing builders store identical contents, so either wins.
+	suffix atomic.Pointer[[]uint64]
 }
 
 // NewHistogram returns an empty histogram.
@@ -68,6 +80,19 @@ func logBucketBounds(b int) (lo, hi int64) {
 
 // Add records one occurrence of value v. Negative values are clamped to 0.
 func (h *Histogram) Add(v int64) {
+	// Fast path for the profiler's per-access recording: small finite
+	// distance into an already-allocated linear array. State updates match
+	// AddN(v, 1) exactly (float64(v)*float64(1) == float64(v)).
+	if uint64(v) < linearCutoff && h.linear != nil {
+		h.count++
+		h.sum += float64(v)
+		if v > h.max {
+			h.max = v
+		}
+		h.linear[v]++
+		h.suffix.Store(nil)
+		return
+	}
 	h.AddN(v, 1)
 }
 
@@ -93,6 +118,7 @@ func (h *Histogram) AddN(v int64, n uint64) {
 			h.linear = make([]uint64, linearCutoff)
 		}
 		h.linear[v] += n
+		h.suffix.Store(nil)
 		return
 	}
 	b := logBucket(v)
@@ -122,6 +148,7 @@ func (h *Histogram) Merge(other *Histogram) {
 		for i, c := range other.linear {
 			h.linear[i] += c
 		}
+		h.suffix.Store(nil)
 	}
 	if len(other.log) > len(h.log) {
 		grown := make([]uint64, len(other.log))
@@ -164,9 +191,18 @@ func (h *Histogram) CountAbove(v int64) float64 {
 		if start < 0 {
 			start = 0
 		}
-		for i := start; i < linearCutoff; i++ {
-			total += float64(h.linear[i])
+		suf := h.suffix.Load()
+		if suf == nil {
+			s := make([]uint64, linearCutoff+1)
+			for i := linearCutoff - 1; i >= 0; i-- {
+				s[i] = s[i+1] + h.linear[i]
+			}
+			suf = &s
+			h.suffix.Store(suf)
 		}
+		// Exact-integer substitution for the per-element accumulation; see
+		// the suffix field comment.
+		total += float64((*suf)[start])
 	}
 	for b, c := range h.log {
 		if c == 0 {

@@ -179,6 +179,41 @@ type ThreadStream interface {
 	Next() (Item, bool)
 }
 
+// BatchStream is a ThreadStream that can fill caller-provided buffers,
+// eliminating one interface call and one Item copy per dynamic instruction
+// on the profiler and simulator hot paths. NextBatch fills buf from the
+// front and returns the number of items written, in [0, len(buf)].
+// A return of 0 (for len(buf) > 0) means the stream is exhausted; short
+// but non-zero returns are allowed at internal boundaries and callers must
+// keep refilling. Items returned by NextBatch and Next interleave
+// consistently: both draw from the same stream position.
+//
+// For instruction items (IsSync false) the Sync field is unspecified:
+// implementations may leave stale bytes from earlier buffer contents
+// rather than clear it. Consumers must gate on IsSync, as the profiler and
+// simulator do.
+type BatchStream interface {
+	ThreadStream
+	NextBatch(buf []Item) int
+}
+
+// FillBatch fills buf from s, batching natively when s implements
+// BatchStream and falling back to one Next call per item otherwise. The
+// return contract matches BatchStream.NextBatch.
+func FillBatch(s ThreadStream, buf []Item) int {
+	if bs, ok := s.(BatchStream); ok {
+		return bs.NextBatch(buf)
+	}
+	for i := range buf {
+		it, ok := s.Next()
+		if !ok {
+			return i
+		}
+		buf[i] = it
+	}
+	return len(buf)
+}
+
 // Program is a restartable multithreaded workload. Thread(tid) must return a
 // fresh stream positioned at the thread's first item; repeated calls must
 // yield identical streams. Thread 0 is the main thread and is the only
@@ -208,6 +243,13 @@ func (s *SliceStream) Next() (Item, bool) {
 	it := s.items[s.pos]
 	s.pos++
 	return it, true
+}
+
+// NextBatch implements BatchStream.
+func (s *SliceStream) NextBatch(buf []Item) int {
+	n := copy(buf, s.items[s.pos:])
+	s.pos += n
+	return n
 }
 
 // SliceProgram is a Program over fixed per-thread item slices.

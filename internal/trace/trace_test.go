@@ -77,4 +77,82 @@ func TestSliceStreamExhaustion(t *testing.T) {
 	if _, ok := s.Next(); ok {
 		t.Fatal("empty stream returned an item")
 	}
+	if n := s.NextBatch(make([]Item, 8)); n != 0 {
+		t.Fatalf("empty stream batch-returned %d items", n)
+	}
+}
+
+// batchItems drains a stream via FillBatch with the given buffer size.
+func batchItems(s ThreadStream, bufSize int) []Item {
+	var out []Item
+	buf := make([]Item, bufSize)
+	for {
+		n := FillBatch(s, buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// nextStream hides a stream's NextBatch so FillBatch exercises the legacy
+// one-item shim.
+type nextStream struct{ s ThreadStream }
+
+func (n *nextStream) Next() (Item, bool) { return n.s.Next() }
+
+func TestFillBatchMatchesNext(t *testing.T) {
+	items := []Item{
+		InstrItem(Instr{Class: IntALU, Dst: 1}),
+		InstrItem(Instr{Class: Load, Addr: 0x40, Dst: 2, Src1: 1}),
+		SyncItem(Event{Kind: SyncBarrier, Obj: 1, Arg: 2}),
+		InstrItem(Instr{Class: Branch, BranchID: 7, Taken: true}),
+		SyncItem(Event{Kind: SyncThreadExit}),
+	}
+	var want []Item
+	ref := NewSliceStream(items)
+	for {
+		it, ok := ref.Next()
+		if !ok {
+			break
+		}
+		want = append(want, it)
+	}
+	for _, bufSize := range []int{1, 2, 3, 16} {
+		for _, legacy := range []bool{false, true} {
+			var s ThreadStream = NewSliceStream(items)
+			if legacy {
+				s = &nextStream{s: s}
+			}
+			got := batchItems(s, bufSize)
+			if len(got) != len(want) {
+				t.Fatalf("bufSize %d legacy %v: got %d items, want %d", bufSize, legacy, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("bufSize %d legacy %v: item %d = %+v, want %+v", bufSize, legacy, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchNextInterleave checks that NextBatch and Next draw from the same
+// position.
+func TestBatchNextInterleave(t *testing.T) {
+	items := []Item{
+		InstrItem(Instr{Dst: 0}), InstrItem(Instr{Dst: 1}),
+		InstrItem(Instr{Dst: 2}), InstrItem(Instr{Dst: 3}),
+	}
+	s := NewSliceStream(items)
+	buf := make([]Item, 2)
+	if n := s.NextBatch(buf); n != 2 || buf[0].Instr.Dst != 0 || buf[1].Instr.Dst != 1 {
+		t.Fatalf("first batch wrong: n=%d buf=%+v", n, buf)
+	}
+	if it, ok := s.Next(); !ok || it.Instr.Dst != 2 {
+		t.Fatalf("Next after batch = %+v, %v", it, ok)
+	}
+	if n := s.NextBatch(buf); n != 1 || buf[0].Instr.Dst != 3 {
+		t.Fatalf("final batch wrong: n=%d buf=%+v", n, buf)
+	}
 }

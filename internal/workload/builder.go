@@ -54,6 +54,36 @@ type threadStream struct {
 	gen  *blockGen
 }
 
+// NextBatch implements trace.BatchStream: it fills buf with generated
+// instructions and sync events without the per-item interface dispatch of
+// Next. Compute segments are filled in tight per-block runs.
+func (s *threadStream) NextBatch(buf []trace.Item) int {
+	n := 0
+	for n < len(buf) {
+		if s.gen != nil {
+			n += s.gen.fill(buf[n:])
+			if s.gen.done() {
+				s.gen = nil
+			}
+			continue
+		}
+		if s.idx >= len(s.segs) {
+			break
+		}
+		seg := s.segs[s.idx]
+		s.idx++
+		if seg.isSync {
+			buf[n] = trace.SyncItem(seg.ev)
+			n++
+			continue
+		}
+		if seg.n > 0 {
+			s.gen = newBlockGen(seg.block, s.tid, seg.n, seg.seed)
+		}
+	}
+	return n
+}
+
 // Next implements trace.ThreadStream.
 func (s *threadStream) Next() (trace.Item, bool) {
 	for {

@@ -12,6 +12,8 @@
 package workload
 
 import (
+	"sync"
+
 	"rppm/internal/prng"
 	"rppm/internal/trace"
 )
@@ -132,11 +134,25 @@ type blockGen struct {
 	rng     *prng.Source
 	weights []float64
 
+	// Hot-loop constants hoisted out of next(): the integer-compare class
+	// sampler, the log-free dependence-distance sampler, the current
+	// wrapped position in the code region (replacing a modulo per
+	// instruction), and line counts with masks for the power-of-two
+	// footprints the suite mostly uses.
+	classTable              *prng.PickTable
+	depTable                *prng.GeometricTable
+	pcIndex                 int
+	sharedLines, sharedMask uint64
+	privLines, privMask     uint64
+	hotLines, hotMask       uint64
+	// Precomputed BoolT thresholds for every fixed-probability draw.
+	halfT, sharedT, seqT, hotT, chainT float64
+	takenT                             []float64 // per branch site
+
 	tid        int
 	count      int // instructions emitted so far
 	remaining  int
 	codeInstrs int
-	codePhase  int // starting offset into the code region for this instance
 	codeRegion uint64
 
 	lastPriv    uint64 // last private address (for sequential locality)
@@ -157,11 +173,22 @@ func newBlockGen(b Block, tid, n int, seed uint64) *blockGen {
 		codeRegion:  codeBase + uint64(b.CodeID)*codeSpan,
 		lastLoadDst: -1,
 	}
+	g.classTable = classTableFor(g.weights)
+	g.depTable = depTableFor(b.DepMean)
+	g.sharedLines, g.sharedMask = linesOf(b.SharedBytes)
+	g.privLines, g.privMask = linesOf(b.PrivateBytes)
+	g.hotLines, g.hotMask = linesOf(b.HotBytes)
+	g.halfT = prng.BoolThresh(0.5)
+	g.sharedT = prng.BoolThresh(b.SharedFrac)
+	g.seqT = prng.BoolThresh(b.SeqFrac)
+	g.hotT = prng.BoolThresh(b.HotFrac)
+	g.chainT = prng.BoolThresh(b.LoadChainFrac)
+	g.takenT = takenTableFor(b)
 	// Each block instance starts at a seed-derived phase into its code
 	// region, so successive instances of a large-code block exercise
 	// different windows of the footprint (as different call paths through a
 	// big binary would) instead of replaying the same prefix.
-	g.codePhase = int(seed>>17) % g.codeInstrs
+	g.pcIndex = int(seed>>17) % g.codeInstrs
 	g.lastPriv = g.privBase()
 	g.lastShared = sharedBase
 	return g
@@ -169,6 +196,81 @@ func newBlockGen(b Block, tid, n int, seed uint64) *blockGen {
 
 func (g *blockGen) privBase() uint64 {
 	return privateBase + uint64(g.tid)*privateSpan
+}
+
+// takenKey identifies a block's branch-site probability layout.
+type takenKey struct {
+	sites      int
+	bias       float64
+	randomFrac float64
+}
+
+// takenTables caches per-site taken thresholds per branch-behaviour tuple.
+var takenTables sync.Map // takenKey -> []float64
+
+func takenTableFor(b Block) []float64 {
+	key := takenKey{sites: b.BranchSites, bias: b.BranchBias, randomFrac: b.RandomFrac}
+	if t, ok := takenTables.Load(key); ok {
+		return t.([]float64)
+	}
+	g := blockGen{b: b}
+	t := make([]float64, b.BranchSites)
+	for site := range t {
+		t[site] = prng.BoolThresh(g.branchSiteProb(site))
+	}
+	actual, _ := takenTables.LoadOrStore(key, t)
+	return actual.([]float64)
+}
+
+// classTables caches instruction-class samplers per mix weight vector,
+// mirroring depTables.
+var classTables sync.Map // [NumClasses]float64 -> *prng.PickTable
+
+func classTableFor(weights []float64) *prng.PickTable {
+	var key [trace.NumClasses]float64
+	copy(key[:], weights)
+	if t, ok := classTables.Load(key); ok {
+		return t.(*prng.PickTable)
+	}
+	t := prng.NewPickTable(weights)
+	actual, _ := classTables.LoadOrStore(key, t)
+	return actual.(*prng.PickTable)
+}
+
+// linesOf returns a byte size's line count plus an index mask when the
+// count is a power of two, letting randLine replace the per-access modulo
+// (a data-dependent divide) with an and.
+func linesOf(bytes uint64) (lines, mask uint64) {
+	lines = bytes / lineBytes
+	if lines > 0 && lines&(lines-1) == 0 {
+		mask = lines - 1
+	}
+	return lines, mask
+}
+
+// randLine draws a uniform line index in [0, lines), bit-identical to
+// rng.Uint64n(lines): for a power-of-two count the modulo is a mask.
+func (g *blockGen) randLine(lines, mask uint64) uint64 {
+	if mask != 0 {
+		return g.rng.Uint64() & mask
+	}
+	return g.rng.Uint64n(lines)
+}
+
+// depTables caches dependence-distance samplers per DepMean: a table costs
+// a few thousand reference inverse-CDF evaluations to build, and block
+// generators are instantiated per segment — thousands of times per
+// program. Samplers cap at NumRegs because next() clamps every distance to
+// NumRegs-1 anyway; min(k, NumRegs) behaves identically under that clamp.
+var depTables sync.Map // DepMean (float64) -> *prng.GeometricTable
+
+func depTableFor(depMean float64) *prng.GeometricTable {
+	if t, ok := depTables.Load(depMean); ok {
+		return t.(*prng.GeometricTable)
+	}
+	t := prng.NewGeometricTable(1/depMean, trace.NumRegs)
+	actual, _ := depTables.LoadOrStore(depMean, t)
+	return actual.(*prng.GeometricTable)
 }
 
 // done reports whether the block is exhausted.
@@ -189,50 +291,79 @@ func (g *blockGen) branchSiteProb(site int) float64 {
 
 // genAddr produces the next data address (line-aligned).
 func (g *blockGen) genAddr() uint64 {
-	shared := g.b.SharedBytes > 0 && g.rng.Bool(g.b.SharedFrac)
+	shared := g.b.SharedBytes > 0 && g.rng.BoolT(g.sharedT)
 	if shared {
-		if g.rng.Bool(g.b.SeqFrac) {
+		if g.rng.BoolT(g.seqT) {
 			g.lastShared += lineBytes
 			if g.lastShared >= sharedBase+g.b.SharedBytes {
 				g.lastShared = sharedBase
 			}
 			return g.lastShared
 		}
-		lines := g.b.SharedBytes / lineBytes
-		a := sharedBase + g.rng.Uint64n(lines)*lineBytes
+		a := sharedBase + g.randLine(g.sharedLines, g.sharedMask)*lineBytes
 		g.lastShared = a
 		return a
 	}
 	base := g.privBase()
-	if g.rng.Bool(g.b.SeqFrac) {
+	if g.rng.BoolT(g.seqT) {
 		g.lastPriv += lineBytes
 		if g.lastPriv >= base+g.b.PrivateBytes {
 			g.lastPriv = base
 		}
 		return g.lastPriv
 	}
-	if g.b.HotBytes > 0 && g.rng.Bool(g.b.HotFrac) {
-		lines := g.b.HotBytes / lineBytes
-		a := base + g.rng.Uint64n(lines)*lineBytes
+	if g.b.HotBytes > 0 && g.rng.BoolT(g.hotT) {
+		a := base + g.randLine(g.hotLines, g.hotMask)*lineBytes
 		g.lastPriv = a
 		return a
 	}
-	lines := g.b.PrivateBytes / lineBytes
-	a := base + g.rng.Uint64n(lines)*lineBytes
+	a := base + g.randLine(g.privLines, g.privMask)*lineBytes
 	g.lastPriv = a
 	return a
 }
 
+// fill emits up to len(buf) instructions into buf and returns the count
+// written; it is the batch counterpart of next, generating in place
+// instead of copying a returned value per item.
+func (g *blockGen) fill(buf []trace.Item) int {
+	n := len(buf)
+	if g.remaining < n {
+		n = g.remaining
+	}
+	for i := range buf[:n] {
+		// Only IsSync is reset: per the BatchStream contract the Sync
+		// field of instruction items is unspecified, which saves a full
+		// Item clear per generated instruction.
+		buf[i].IsSync = false
+		g.emit(&buf[i].Instr)
+	}
+	return n
+}
+
 // next emits the next instruction. Callers must check done() first.
 func (g *blockGen) next() trace.Instr {
-	cls := trace.Class(g.rng.Pick(g.weights))
-	in := trace.Instr{Class: cls}
+	var in trace.Instr
+	g.emit(&in)
+	return in
+}
+
+// emit generates the next instruction into in, overwriting every Instr
+// field (the conditionally-set ones are cleared up front, so callers can
+// hand in dirty buffer slots).
+func (g *blockGen) emit(in *trace.Instr) {
+	in.Addr = 0
+	in.BranchID = 0
+	in.Taken = false
+	cls := trace.Class(g.classTable.Sample(g.rng))
+	in.Class = cls
 
 	// Register dependences: instruction i writes register i mod NumRegs, so
 	// "the register written d instructions ago" is (i-d) mod NumRegs. The
-	// dependence distance is geometric with mean DepMean.
-	in.Dst = int8(g.count % trace.NumRegs)
-	d1 := g.rng.Geometric(1 / g.b.DepMean)
+	// dependence distance is geometric with mean DepMean. The clamps keep
+	// count-d non-negative, so the mod reduces to a mask.
+	const regMask = trace.NumRegs - 1
+	in.Dst = int8(uint(g.count) & regMask)
+	d1 := g.depTable.Sample(g.rng)
 	if d1 > g.count {
 		d1 = g.count
 	}
@@ -240,12 +371,12 @@ func (g *blockGen) next() trace.Instr {
 		d1 = trace.NumRegs - 1
 	}
 	if d1 >= 1 {
-		in.Src1 = int8(((g.count-d1)%trace.NumRegs + trace.NumRegs) % trace.NumRegs)
+		in.Src1 = int8(uint(g.count-d1) & regMask)
 	} else {
 		in.Src1 = -1
 	}
-	if g.rng.Bool(0.5) {
-		d2 := g.rng.Geometric(1 / g.b.DepMean)
+	if g.rng.BoolT(g.halfT) {
+		d2 := g.depTable.Sample(g.rng)
 		if d2 > g.count {
 			d2 = g.count
 		}
@@ -253,7 +384,7 @@ func (g *blockGen) next() trace.Instr {
 			d2 = trace.NumRegs - 1
 		}
 		if d2 >= 1 {
-			in.Src2 = int8(((g.count-d2)%trace.NumRegs + trace.NumRegs) % trace.NumRegs)
+			in.Src2 = int8(uint(g.count-d2) & regMask)
 		} else {
 			in.Src2 = -1
 		}
@@ -261,25 +392,27 @@ func (g *blockGen) next() trace.Instr {
 		in.Src2 = -1
 	}
 
-	pcIndex := (g.codePhase + g.count) % g.codeInstrs
-	in.PC = g.codeRegion + uint64(pcIndex)*instrBytes
+	in.PC = g.codeRegion + uint64(g.pcIndex)*instrBytes
 
 	switch {
 	case cls.IsMem():
 		in.Addr = g.genAddr()
 		if cls == trace.Load {
-			if g.lastLoadDst >= 0 && g.rng.Bool(g.b.LoadChainFrac) {
+			if g.lastLoadDst >= 0 && g.rng.BoolT(g.chainT) {
 				in.Src1 = g.lastLoadDst // pointer chase: depend on previous load
 			}
 			g.lastLoadDst = in.Dst
 		}
 	case cls == trace.Branch:
-		site := pcIndex % g.b.BranchSites
+		site := g.pcIndex % g.b.BranchSites
 		in.BranchID = uint16(g.b.CodeID*1024 + site)
-		in.Taken = g.rng.Bool(g.branchSiteProb(site))
+		in.Taken = g.rng.BoolT(g.takenT[site])
 	}
 
 	g.count++
 	g.remaining--
-	return in
+	g.pcIndex++
+	if g.pcIndex == g.codeInstrs {
+		g.pcIndex = 0
+	}
 }

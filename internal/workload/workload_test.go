@@ -315,3 +315,59 @@ func BenchmarkGenerate(b *testing.B) {
 		}
 	}
 }
+
+// TestNextBatchMatchesNext drains every thread of several suite benchmarks
+// both one item at a time and through NextBatch with awkward buffer sizes,
+// and requires identical item sequences — the bit-identity contract the
+// batched profiler and simulator loops rest on.
+func TestNextBatchMatchesNext(t *testing.T) {
+	for _, name := range []string{"backprop", "blackscholes"} {
+		bm, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := bm.Build(3, 0.02)
+		for tid := 0; tid < p.NumThreads(); tid++ {
+			var want []trace.Item
+			s := p.Thread(tid)
+			for {
+				it, ok := s.Next()
+				if !ok {
+					break
+				}
+				want = append(want, it)
+			}
+			for _, bufSize := range []int{1, 7, 256} {
+				bs, ok := p.Thread(tid).(trace.BatchStream)
+				if !ok {
+					t.Fatalf("%s: thread stream does not implement BatchStream", name)
+				}
+				var got []trace.Item
+				buf := make([]trace.Item, bufSize)
+				for {
+					n := bs.NextBatch(buf)
+					if n == 0 {
+						break
+					}
+					got = append(got, buf[:n]...)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s t%d buf %d: %d items, want %d", name, tid, bufSize, len(got), len(want))
+				}
+				for i := range got {
+					// Sync is unspecified on instruction items (the
+					// BatchStream contract), so compare per kind.
+					same := got[i].IsSync == want[i].IsSync
+					if same && want[i].IsSync {
+						same = got[i].Sync == want[i].Sync
+					} else if same {
+						same = got[i].Instr == want[i].Instr
+					}
+					if !same {
+						t.Fatalf("%s t%d buf %d: item %d differs: %+v vs %+v", name, tid, bufSize, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository's benchmark harness and emit BENCH_<N>.json
+# (ns/op and allocs/op per benchmark) so the performance trajectory is
+# tracked PR over PR.
+#
+# Usage:
+#   scripts/bench.sh [N] [micro-benchtime] [macro-benchtime]
+#
+#   N                suffix of the output file BENCH_<N>.json (default: 2)
+#   micro-benchtime  -benchtime for the micro-benchmarks (default: 1s)
+#   macro-benchtime  -benchtime for the experiment benchmarks (default: 1x)
+#
+# The micro-benchmarks (profiler, simulator, caches, hashmap) are the
+# per-instruction hot-path gauges; the root-level benchmarks regenerate the
+# paper's tables and figures end to end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${1:-2}"
+MICRO_TIME="${2:-1s}"
+MACRO_TIME="${3:-1x}"
+OUT="BENCH_${N}.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== micro-benchmarks (-benchtime $MICRO_TIME)" >&2
+go test -run XXX -bench 'BenchmarkProfilerInstr|BenchmarkSimStep|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkUpsert' \
+  -benchmem -benchtime "$MICRO_TIME" \
+  ./internal/profiler ./internal/sim ./internal/cache ./internal/hashmap \
+  | tee "$TMP/micro.txt" >&2
+
+echo "== experiment benchmarks (-benchtime $MACRO_TIME)" >&2
+go test -run XXX -bench . -benchmem -benchtime "$MACRO_TIME" . \
+  | tee "$TMP/macro.txt" >&2
+
+python3 - "$TMP/micro.txt" "$TMP/macro.txt" "$OUT" <<'PY'
+import json, re, sys
+
+results = []
+for path in sys.argv[1:3]:
+    for line in open(path):
+        m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$", line.strip())
+        if not m:
+            continue
+        name, iters, ns, rest = m.groups()
+        entry = {"name": name, "iterations": int(iters), "ns_per_op": float(ns)}
+        for val, unit in re.findall(r"([\d.]+) (\S+)", rest):
+            key = unit.replace("/", "_per_").replace("-", "_")
+            entry[key] = float(val)
+        results.append(entry)
+
+json.dump({"benchmarks": results}, open(sys.argv[3], "w"), indent=2)
+print(f"wrote {sys.argv[3]} ({len(results)} benchmarks)", file=sys.stderr)
+PY
