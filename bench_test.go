@@ -6,9 +6,12 @@
 package rppm_test
 
 import (
+	"context"
 	"testing"
 
+	"rppm"
 	"rppm/internal/experiments"
+	"rppm/internal/sim"
 )
 
 // benchCfg is the reduced-fidelity configuration used by benchmarks.
@@ -82,6 +85,52 @@ func BenchmarkFigure6(b *testing.B) {
 			b.Fatal("Figure 6 incomplete")
 		}
 	}
+}
+
+// BenchmarkSweep16 is the record-once/replay-many design-space sweep: 16
+// configurations simulated against one recorded trace through
+// Session.SimulateSweep. Compare against BenchmarkSweep16Regen, the
+// per-config regeneration baseline it replaces; both produce bit-identical
+// results (TestSweepMatchesPerConfigSimulate).
+func BenchmarkSweep16(b *testing.B) {
+	bm, err := rppm.BenchmarkByName("kmeans")
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := rppm.SweepSpace(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh session per iteration: the point is the cost of a cold
+		// 16-config sweep (one capture + 16 replays), not cache hits.
+		s := rppm.NewEngine(rppm.EngineOptions{Workers: 1}).NewSession()
+		if _, err := s.SimulateSweep(context.Background(), bm, 1, benchCfg.Scale, space); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(space))/1e6, "ms/config")
+}
+
+// BenchmarkSweep16Regen is the pre-record/replay baseline: the same 16
+// configurations, each simulation regenerating the instruction streams
+// from the prng-driven generators.
+func BenchmarkSweep16Regen(b *testing.B) {
+	bm, err := rppm.BenchmarkByName("kmeans")
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := rppm.SweepSpace(16)
+	prog := bm.Build(1, benchCfg.Scale)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range space {
+			if _, err := sim.Run(prog, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(space))/1e6, "ms/config")
 }
 
 func BenchmarkAblationGlobalRD(b *testing.B) {

@@ -8,9 +8,10 @@
 //	rppm simulate -bench NAME [flags]  # cycle-level reference simulation
 //	rppm compare  -bench NAME [flags]  # MAIN/CRIT/RPPM vs simulation
 //	rppm bottle   -bench NAME [flags]  # bottle graphs (model vs simulation)
+//	rppm sweep    -bench NAME [flags]  # record once, simulate -configs N points
 //
 // Common flags: -config (smallest|small|base|big|biggest), -scale, -seed,
-// -parallel.
+// -parallel; sweep takes -configs (design points, Table IV + variants).
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rppm"
 	"rppm/internal/arch"
@@ -36,6 +38,7 @@ func main() {
 	scale := fs.Float64("scale", 0.3, "workload scale factor (1.0 = full size)")
 	seed := fs.Uint64("seed", 1, "workload generation seed")
 	parallel := fs.Int("parallel", 0, "max concurrent profile/simulate jobs (0 = GOMAXPROCS)")
+	nconfigs := fs.Int("configs", 16, "design points for `rppm sweep` (Table IV + derived variants)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -43,6 +46,20 @@ func main() {
 	switch cmd {
 	case "list":
 		list()
+	case "sweep":
+		if *benchName == "" {
+			fatal(fmt.Errorf("missing -bench; try `rppm list`"))
+		}
+		if *scale <= 0 {
+			fatal(fmt.Errorf("-scale must be positive, got %v", *scale))
+		}
+		if *nconfigs < 1 {
+			fatal(fmt.Errorf("-configs must be at least 1, got %d", *nconfigs))
+		}
+		session := rppm.NewEngine(rppm.EngineOptions{Workers: *parallel}).NewSession()
+		if err := sweep(session, *benchName, *nconfigs, *scale, *seed); err != nil {
+			fatal(err)
+		}
 	case "predict", "simulate", "compare", "bottle":
 		if *benchName == "" {
 			fatal(fmt.Errorf("missing -bench; try `rppm list`"))
@@ -65,7 +82,52 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle} [-bench NAME] [-config base] [-scale 0.3] [-seed 1] [-parallel N]")
+	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle|sweep} [-bench NAME] [-config base] [-configs 16] [-scale 0.3] [-seed 1] [-parallel N]")
+}
+
+// sweep records the benchmark's trace once and simulates every design
+// point against the recording, then ranks the points by simulated time
+// alongside the RPPM predictions the same session derives from one
+// profile of the same recording.
+func sweep(s *rppm.Session, benchName string, nconfigs int, scale float64, seed uint64) error {
+	bench, err := rppm.BenchmarkByName(benchName)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	space := rppm.SweepSpace(nconfigs)
+
+	start := time.Now()
+	sims, err := s.SimulateSweep(ctx, bench, seed, scale, space)
+	if err != nil {
+		return err
+	}
+	sweepCost := time.Since(start)
+
+	rows := make([][]string, 0, len(space))
+	best := 0
+	for i, cfg := range space {
+		pred, err := s.Predict(ctx, bench, seed, scale, cfg)
+		if err != nil {
+			return err
+		}
+		if sims[i].Seconds < sims[best].Seconds {
+			best = i
+		}
+		rows = append(rows, []string{
+			cfg.Name,
+			fmt.Sprintf("%.2f GHz w%d ROB %d", cfg.FrequencyGHz, cfg.DispatchWidth, cfg.ROBSize),
+			fmt.Sprintf("%.3f ms", pred.Seconds*1e3),
+			fmt.Sprintf("%.3f ms", sims[i].Seconds*1e3),
+			fmt.Sprintf("%+.1f%%", 100*(pred.Cycles-sims[i].Cycles)/sims[i].Cycles),
+		})
+	}
+	fmt.Printf("%s: %d-config sweep in %v (%v per config amortized; one recorded trace)\n\n",
+		benchName, len(space), sweepCost.Round(time.Millisecond),
+		(sweepCost / time.Duration(len(space))).Round(time.Microsecond))
+	fmt.Print(textplot.Table([]string{"config", "core", "predicted", "simulated", "error"}, rows))
+	fmt.Printf("\nfastest simulated design point: %s\n", space[best].Name)
+	return nil
 }
 
 func fatal(err error) {

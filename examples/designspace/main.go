@@ -1,16 +1,19 @@
 // Design-space exploration: the paper's first case study. A single
-// microarchitecture-independent profile predicts performance across five
-// design points that trade pipeline width against clock frequency at equal
-// peak throughput; exhaustive simulation verifies the predicted optimum.
+// microarchitecture-independent profile predicts performance across design
+// points that trade pipeline width against clock frequency at equal peak
+// throughput; exhaustive simulation verifies the predicted optimum.
 //
 // This is the workflow RPPM exists for: the profile is collected once
 // (expensive), after which each additional design point costs only an
 // analytical evaluation (microseconds to milliseconds), while each
 // simulator run costs orders of magnitude more.
 //
-// The engine session makes that workflow concrete: Profile runs once and
-// is cached; the per-design-point predictions and verification simulations
-// fan out across -parallel workers, with results identical to a serial run.
+// The engine session makes that workflow concrete, and the record/replay
+// trace subsystem makes the verification sweep cheap too: the workload's
+// instruction stream is generated and recorded exactly once, the profiler
+// and every simulated configuration replay the recording through
+// independent cursors (SimulateSweep), and results are bit-identical to
+// regenerating per configuration.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 
 func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent jobs (0 = GOMAXPROCS)")
+	nconfigs := flag.Int("configs", 5, "number of design points to sweep (5 = the paper's Table IV)")
 	flag.Parse()
 
 	bench, err := rppm.BenchmarkByName("kmeans")
@@ -43,55 +47,52 @@ func main() {
 
 	fmt.Printf("design-space exploration for %s (profile cost: %v, paid once)\n\n",
 		bench.Name, profCost.Round(time.Millisecond))
-	fmt.Printf("%-10s %-28s %14s %14s\n", "config", "core", "predicted", "simulated")
+	fmt.Printf("%-12s %-28s %14s %14s\n", "config", "core", "predicted", "simulated")
 
-	space := rppm.DesignSpace()
-	type point struct {
-		pred     *rppm.Prediction
-		sim      *rppm.SimResult
-		predCost time.Duration
-	}
-	points := make([]point, len(space))
+	space := rppm.SweepSpace(*nconfigs)
 	// Predictions are analytical and near-free: run them serially so the
 	// printed per-point cost is the model evaluation itself, not pool
 	// queueing behind the simulations.
+	preds := make([]*rppm.Prediction, len(space))
+	predCosts := make([]time.Duration, len(space))
 	for i, cfg := range space {
 		t0 := time.Now()
-		pred, err := session.Predict(ctx, bench, seed, scale, cfg)
+		preds[i], err = session.Predict(ctx, bench, seed, scale, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		points[i].pred = pred
-		points[i].predCost = time.Since(t0)
+		predCosts[i] = time.Since(t0)
 	}
-	// The expensive verification simulations fan out across the pool.
-	err = session.ForEach(ctx, len(space), func(ctx context.Context, i int) error {
-		golden, err := session.Simulate(ctx, bench, seed, scale, space[i])
-		if err != nil {
-			return err
-		}
-		points[i].sim = golden
-		return nil
-	})
+
+	// The expensive verification simulations share one recorded trace:
+	// the generation pass already happened for the profile above, so every
+	// configuration here pays only replay + simulation.
+	sweepStart := time.Now()
+	sims, err := session.SimulateSweep(ctx, bench, seed, scale, space)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sweepCost := time.Since(sweepStart)
 
 	var predBest, simBest string
 	var predBestT, simBestT float64
 	for i, cfg := range space {
-		p := points[i]
-		fmt.Printf("%-10s %.2f GHz, width %d, ROB %3d %11.3fms %11.3fms   (prediction took %v)\n",
+		fmt.Printf("%-12s %.2f GHz, width %d, ROB %3d %11.3fms %11.3fms   (prediction took %v)\n",
 			cfg.Name, cfg.FrequencyGHz, cfg.DispatchWidth, cfg.ROBSize,
-			p.pred.Seconds*1e3, p.sim.Seconds*1e3, p.predCost.Round(time.Microsecond))
+			preds[i].Seconds*1e3, sims[i].Seconds*1e3, predCosts[i].Round(time.Microsecond))
 
-		if predBest == "" || p.pred.Seconds < predBestT {
-			predBest, predBestT = cfg.Name, p.pred.Seconds
+		if predBest == "" || preds[i].Seconds < predBestT {
+			predBest, predBestT = cfg.Name, preds[i].Seconds
 		}
-		if simBest == "" || p.sim.Seconds < simBestT {
-			simBest, simBestT = cfg.Name, p.sim.Seconds
+		if simBest == "" || sims[i].Seconds < simBestT {
+			simBest, simBestT = cfg.Name, sims[i].Seconds
 		}
 	}
+
+	fmt.Printf("\nverification sweep: %d configs in %v — %v per config amortized "+
+		"(one recorded trace, zero regenerations)\n",
+		len(space), sweepCost.Round(time.Millisecond),
+		(sweepCost / time.Duration(len(space))).Round(time.Microsecond))
 
 	fmt.Printf("\nRPPM's pick: %s; exhaustive simulation's pick: %s\n", predBest, simBest)
 	if predBest == simBest {

@@ -186,6 +186,79 @@ func DesignSpace() []Config {
 	}
 }
 
+// SweepSpace returns n distinct, validated configurations for design-space
+// sweeps. The first five are the Table IV points; beyond those, derived
+// variants walk outward from each point, compounding one mutation per
+// round — deeper buffers, then constrained memory-level parallelism with
+// a larger predictor, then a doubled L2, and around again — the kind of
+// neighborhood exploration a record-once/replay-many sweep is built to
+// make cheap. Compounding keeps every configuration parameter-distinct,
+// not just distinctly named.
+func SweepSpace(n int) []Config {
+	points := DesignSpace()
+	state := append([]Config(nil), points...) // per-point accumulated variant
+	// seen tracks every parameter set already emitted per point (names
+	// stripped): clamped mutations can revisit a state — e.g. the MSHR
+	// add/halve pair admits a 4→8→4 cycle — and revisits must not emit.
+	seen := make([]map[Config]bool, len(points))
+	for b, p := range points {
+		p.Name = ""
+		seen[b] = map[Config]bool{p: true}
+	}
+	out := make([]Config, 0, n)
+	for i := 0; len(out) < n; i++ {
+		b := i % len(points)
+		c := points[b]
+		if v := i / len(points); v > 0 {
+			c = state[b]
+			// Mutations are clamped to a realistic envelope so an
+			// arbitrarily large n cannot compound its way to terabyte
+			// caches (or integer overflow).
+			switch (v - 1) % 3 {
+			case 0: // deeper out-of-order window
+				if r := c.ROBSize * 3 / 2; r <= 4096 {
+					c.ROBSize = r
+					if c.IssueQueueSize = c.IssueQueueSize * 3 / 2; c.IssueQueueSize > c.ROBSize {
+						c.IssueQueueSize = c.ROBSize
+					}
+				}
+				if c.MSHRs < 64 {
+					c.MSHRs += 4
+				}
+			case 1: // constrained MLP, larger branch predictor
+				if c.MSHRs = c.MSHRs / 2; c.MSHRs < 1 {
+					c.MSHRs = 1
+				}
+				if c.BPredBytes < 1<<20 {
+					c.BPredBytes *= 2
+				}
+			case 2: // doubled private L2
+				if c.L2.SizeBytes < 32<<20 {
+					c.L2.SizeBytes *= 2
+				}
+			}
+			// Keep the walk parameter-distinct at any depth: whenever a
+			// mutation saturates or cycles back to an emitted state, step
+			// the one knob that stays physical no matter how far the walk
+			// goes (a marginally slower DRAM part).
+			anon := c
+			anon.Name = ""
+			for seen[b][anon] {
+				c.MemLatency++
+				anon.MemLatency++
+			}
+			seen[b][anon] = true
+			c.Name = fmt.Sprintf("%s+v%d", points[b].Name, v)
+			state[b] = c
+		}
+		if err := c.Validate(); err != nil {
+			panic(fmt.Sprintf("arch: SweepSpace produced an invalid config: %v", err))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
 // WithCores returns a copy of c with the given core count.
 func (c Config) WithCores(n int) Config {
 	c.Cores = n

@@ -141,3 +141,38 @@ func TestStringContainsName(t *testing.T) {
 		t.Fatalf("String() = %q", s)
 	}
 }
+
+func TestSweepSpace(t *testing.T) {
+	// 350 drives every compounding mutation past its clamp, covering the
+	// saturation fallback that keeps deep variants parameter-distinct.
+	for _, n := range []int{1, 5, 16, 40, 350} {
+		space := SweepSpace(n)
+		if len(space) != n {
+			t.Fatalf("SweepSpace(%d) returned %d configs", n, len(space))
+		}
+		seen := make(map[string]bool)
+		params := make(map[Config]string)
+		for _, c := range space {
+			if err := c.Validate(); err != nil {
+				t.Errorf("SweepSpace(%d): invalid config %s: %v", n, c.Name, err)
+			}
+			if seen[c.Name] {
+				t.Errorf("SweepSpace(%d): duplicate config name %q", n, c.Name)
+			}
+			seen[c.Name] = true
+			anon := c
+			anon.Name = ""
+			if prev, dup := params[anon]; dup {
+				t.Errorf("SweepSpace(%d): %q and %q describe identical hardware", n, prev, c.Name)
+			}
+			params[anon] = c.Name
+		}
+	}
+	// The first five are exactly the paper's design space.
+	space := SweepSpace(16)
+	for i, want := range DesignSpace() {
+		if space[i] != want {
+			t.Errorf("SweepSpace[%d] = %s, want Table IV point %s", i, space[i].Name, want.Name)
+		}
+	}
+}

@@ -17,9 +17,12 @@ import (
 	"rppm/internal/hashmap"
 )
 
-// invalidTag marks an empty way. Line addresses are byte addresses shifted
-// right by the line size, so the all-ones value can never be a real line.
-const invalidTag = ^uint64(0)
+// Tags are stored biased by one (slot value = line address + 1) so the
+// zero value marks an empty way: a fresh tag array needs no
+// initialization pass, which matters because a design-space sweep builds
+// a full hierarchy (megabytes of tag arrays) per simulated configuration.
+// Line addresses are byte addresses shifted right by the line size, so
+// the bias can never wrap a real line to zero.
 
 // Cache is one set-associative LRU cache level. All sets live in one flat
 // tag array ordered most- to least-recently used within each set: a lookup
@@ -29,7 +32,7 @@ const invalidTag = ^uint64(0)
 type Cache struct {
 	ways    int
 	setMask uint64
-	tags    []uint64 // len = sets*ways; tags[s*ways : (s+1)*ways]
+	tags    []uint64 // len = sets*ways; tags[s*ways : (s+1)*ways]; biased by +1, 0 = empty
 
 	hits, misses uint64
 }
@@ -49,10 +52,7 @@ func New(cfg arch.CacheConfig) *Cache {
 		c.setMask = uint64(p - 1)
 		sets = p
 	}
-	c.tags = make([]uint64, sets*cfg.Assoc)
-	for i := range c.tags {
-		c.tags[i] = invalidTag
-	}
+	c.tags = make([]uint64, sets*cfg.Assoc) // zero = empty, by the tag bias
 	return c
 }
 
@@ -68,27 +68,31 @@ func (c *Cache) set(lineAddr uint64) []uint64 {
 // evicted.
 func (c *Cache) Access(lineAddr uint64) (hit bool, victim uint64, evicted bool) {
 	set := c.set(lineAddr)
+	tag := lineAddr + 1
 	for i, t := range set {
-		if t == lineAddr {
+		if t == tag {
 			// Move to MRU position.
 			copy(set[1:i+1], set[:i])
-			set[0] = lineAddr
+			set[0] = tag
 			c.hits++
 			return true, 0, false
 		}
 	}
 	c.misses++
 	last := c.ways - 1
-	victim, evicted = set[last], set[last] != invalidTag
+	victim, evicted = set[last]-1, set[last] != 0
+	if !evicted {
+		victim = 0
+	}
 	copy(set[1:], set[:last])
-	set[0] = lineAddr
+	set[0] = tag
 	return false, victim, evicted
 }
 
 // Contains reports whether the line is present without touching LRU state.
 func (c *Cache) Contains(lineAddr uint64) bool {
 	for _, t := range c.set(lineAddr) {
-		if t == lineAddr {
+		if t == lineAddr+1 {
 			return true
 		}
 	}
@@ -99,8 +103,8 @@ func (c *Cache) Contains(lineAddr uint64) bool {
 func (c *Cache) Invalidate(lineAddr uint64) bool {
 	set := c.set(lineAddr)
 	for i, t := range set {
-		if t == lineAddr {
-			set[i] = invalidTag
+		if t == lineAddr+1 {
+			set[i] = 0
 			return true
 		}
 	}
@@ -174,16 +178,25 @@ type Hierarchy struct {
 const remoteTransferPenalty = 18
 
 // NewHierarchy builds the hierarchy for a validated configuration.
-func NewHierarchy(cfg arch.Config) *Hierarchy {
+func NewHierarchy(cfg arch.Config) *Hierarchy { return NewHierarchyHinted(cfg, 0) }
+
+// NewHierarchyHinted builds the hierarchy with the workload's distinct
+// data-line count (0 = unknown). The hint pre-sizes the coherence
+// directory: replayed traces know their footprint exactly, so sweep
+// simulations skip every directory rehash a growing table would pay.
+func NewHierarchyHinted(cfg arch.Config, dataLines int) *Hierarchy {
+	if dataLines < 8192 {
+		// Near a typical touched-line count: skips the early rehash
+		// doublings even without a hint.
+		dataLines = 8192
+	}
 	h := &Hierarchy{
 		cfg:          cfg,
 		lineShift:    uint(bits.Len(uint(cfg.L1D.LineBytes)) - 1),
 		llc:          New(cfg.LLC),
 		served:       make([]uint64, cfg.Cores*NumLevels),
 		invalidation: make([]uint64, cfg.Cores),
-		// Pre-size the directory near a typical touched-line count to skip
-		// the early rehash doublings.
-		dir: *hashmap.New[dirEntry](8192),
+		dir:          *hashmap.New[dirEntry](dataLines),
 	}
 	for c := 0; c < cfg.Cores; c++ {
 		h.l1i = append(h.l1i, New(cfg.L1I))

@@ -44,9 +44,13 @@ const (
 	EventSimulate
 	// EventPredict: an RPPM (or MAIN/CRIT baseline) prediction completed.
 	EventPredict
+	// EventRecord: a workload's packed replayable trace was captured. The
+	// capture is the single generation pass whose recording every profile
+	// and every simulator configuration replays.
+	EventRecord
 )
 
-var eventNames = [...]string{"build", "profile", "simulate", "predict"}
+var eventNames = [...]string{"build", "profile", "simulate", "predict", "record"}
 
 func (k EventKind) String() string {
 	if int(k) < len(eventNames) {

@@ -98,6 +98,87 @@ func TestCacheDeduplicates(t *testing.T) {
 	}
 }
 
+// TestSimulateSweepSharesRecording: a sweep records the trace exactly once,
+// deduplicates against simulations the session already ran, and later
+// Simulate calls reuse sweep results instead of simulating again.
+func TestSimulateSweepSharesRecording(t *testing.T) {
+	c := newCounter()
+	s := New(Options{Workers: 8, Progress: c.sink}).NewSession()
+	bm := mustBench(t, "kmeans")
+	ctx := context.Background()
+	space := arch.SweepSpace(16)
+
+	// Prime the cache with one configuration the sweep also contains.
+	prior, err := s.Simulate(ctx, bm, testSeed, testScale, space[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := s.SimulateSweep(ctx, bm, testSeed, testScale, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(space) {
+		t.Fatalf("sweep returned %d results for %d configs", len(results), len(space))
+	}
+	if results[3] != prior {
+		t.Error("sweep re-simulated a configuration the session had already simulated")
+	}
+	if got := c.get(EventRecord); got != 1 {
+		t.Errorf("trace recorded %d times, want 1 (once per (bench, seed, scale))", got)
+	}
+	if got := c.get(EventSimulate); got != len(space) {
+		t.Errorf("%d simulations for %d distinct configs, want exactly one each", got, len(space))
+	}
+
+	// A second overlapping sweep is fully cached: no new recordings or
+	// simulations, and results are the same instances.
+	again, err := s.SimulateSweep(ctx, bm, testSeed, testScale, space[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i] != results[i] {
+			t.Fatalf("config %d: second sweep returned a different result instance", i)
+		}
+	}
+	if got := c.get(EventSimulate); got != len(space) {
+		t.Errorf("overlapping sweep re-simulated: %d simulate events, want %d", got, len(space))
+	}
+
+	// Simulate after the sweep hits the sweep's cache entries.
+	solo, err := s.Simulate(ctx, bm, testSeed, testScale, space[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo != results[7] {
+		t.Error("Simulate after a sweep did not reuse the sweep's cached result")
+	}
+}
+
+// TestSweepMatchesPerConfigSimulate: sweep results are bit-identical to
+// fresh per-configuration simulations in an unrelated session.
+func TestSweepMatchesPerConfigSimulate(t *testing.T) {
+	bm := mustBench(t, "swaptions")
+	ctx := context.Background()
+	space := arch.SweepSpace(6)
+
+	sweep, err := New(Options{Workers: 4}).NewSession().SimulateSweep(ctx, bm, testSeed, testScale, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := New(Options{Workers: 1}).NewSession()
+	for i, cfg := range space {
+		res, err := serial.Simulate(ctx, bm, testSeed, testScale, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != sweep[i].Cycles || res.Seconds != sweep[i].Seconds {
+			t.Errorf("config %s: sweep %v cycles, per-config %v", cfg.Name, sweep[i].Cycles, res.Cycles)
+		}
+	}
+}
+
 // TestParallelMatchesSerial: a parallel engine produces bit-identical
 // predictions and simulation results to a serial (Workers: 1) engine.
 func TestParallelMatchesSerial(t *testing.T) {

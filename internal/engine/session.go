@@ -25,9 +25,11 @@ type Key struct {
 	Scale float64
 }
 
-// progKey, profKey, simKey and predKey key the session caches. All are
-// comparable value types so they work as map keys directly.
+// progKey, recKey, profKey, simKey and predKey key the session caches. All
+// are comparable value types so they work as map keys directly.
 type progKey struct{ Key }
+
+type recKey struct{ Key }
 
 type profKey struct {
 	Key
@@ -148,6 +150,45 @@ func (s *Session) Program(ctx context.Context, bm workload.Benchmark, seed uint6
 	return v.(trace.Program), nil
 }
 
+// Recorded returns the packed replayable trace of (bm, seed, scale),
+// capturing it at most once per session. The capture pass is the only time
+// the session pays prng-driven stream generation: the profiler and every
+// simulator configuration replay the recording through independent decode
+// cursors, which is what makes an N-configuration sweep cost one
+// generation plus N cheap replays instead of N regenerations.
+func (s *Session) Recorded(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64) (*trace.Recorded, error) {
+	v, err := s.do(ctx, recKey{Key{bm.Name, seed, scale}}, func(ctx context.Context) (any, error) {
+		prog, err := s.Program(ctx, bm, seed, scale)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.eng.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.eng.release()
+		start := time.Now()
+		rec, err := trace.Record(prog)
+		if err != nil {
+			return nil, err
+		}
+		s.eng.emit(Event{Kind: EventRecord, Bench: bm.Name, Seed: seed, Scale: scale,
+			Duration: time.Since(start)})
+		return rec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*trace.Recorded), nil
+}
+
+// replayable returns the stream source consumers execute: the recorded
+// trace. Replay is differentially guaranteed (and golden-hash enforced) to
+// yield the canonical interleaving item-for-item, so profiles and
+// simulation results are bit-identical to running the generative program.
+func (s *Session) replayable(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64) (trace.Program, error) {
+	return s.Recorded(ctx, bm, seed, scale)
+}
+
 // Profile returns the microarchitecture-independent profile of
 // (bm, seed, scale) under the engine's default profiler options, collecting
 // it at most once per session.
@@ -160,7 +201,7 @@ func (s *Session) Profile(ctx context.Context, bm workload.Benchmark, seed uint6
 // Profiles with different options are cached independently.
 func (s *Session) ProfileOpts(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, opts profiler.Options) (*profiler.Profile, error) {
 	v, err := s.do(ctx, profKey{Key{bm.Name, seed, scale}, opts}, func(ctx context.Context) (any, error) {
-		prog, err := s.Program(ctx, bm, seed, scale)
+		prog, err := s.replayable(ctx, bm, seed, scale)
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +228,7 @@ func (s *Session) ProfileOpts(ctx context.Context, bm workload.Benchmark, seed u
 // scale) on cfg, running it at most once per session and configuration.
 func (s *Session) Simulate(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config) (*sim.Result, error) {
 	v, err := s.do(ctx, simKey{Key{bm.Name, seed, scale}, cfg}, func(ctx context.Context) (any, error) {
-		prog, err := s.Program(ctx, bm, seed, scale)
+		prog, err := s.replayable(ctx, bm, seed, scale)
 		if err != nil {
 			return nil, err
 		}
@@ -208,6 +249,39 @@ func (s *Session) Simulate(ctx context.Context, bm workload.Benchmark, seed uint
 		return nil, err
 	}
 	return v.(*sim.Result), nil
+}
+
+// SimulateSweep runs the cycle-level reference simulation of (bm, seed,
+// scale) on every configuration in cfgs, fanning the configurations out
+// across the engine's worker pool. The workload's trace is generated and
+// recorded exactly once; each configuration replays it through an
+// independent decode cursor, so the sweep costs one capture plus N cheap
+// replay-simulations instead of N full regenerations.
+//
+// Results are returned in cfgs order and are bit-identical to calling
+// Simulate per configuration. Sweeps share the session's simulation cache:
+// configurations already simulated this session (by Simulate or an earlier
+// sweep) are returned from cache, and later Simulate calls reuse sweep
+// results.
+func (s *Session) SimulateSweep(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfgs []arch.Config) ([]*sim.Result, error) {
+	// Capture the recording before fanning out, so the sweep's workers all
+	// attach to the one in-flight capture instead of racing to start it.
+	if _, err := s.Recorded(ctx, bm, seed, scale); err != nil {
+		return nil, err
+	}
+	out := make([]*sim.Result, len(cfgs))
+	err := s.ForEach(ctx, len(cfgs), func(ctx context.Context, i int) error {
+		res, err := s.Simulate(ctx, bm, seed, scale, cfgs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Predict returns the RPPM prediction for (bm, seed, scale) on cfg,

@@ -2,7 +2,9 @@ package profiler
 
 import (
 	"fmt"
+	"sync"
 
+	"rppm/internal/branchmodel"
 	"rppm/internal/hashmap"
 	"rppm/internal/stats"
 	"rppm/internal/trace"
@@ -48,6 +50,147 @@ const batchSize = 256
 // right by lineShift), marking "no line fetched yet".
 const noILine = ^uint64(0)
 
+// bufPool recycles the per-thread item batch buffers across profiler runs;
+// a session profiles dozens of workloads, and the buffers (batchSize Items
+// each) are pure scratch.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]trace.Item, batchSize)
+		return &b
+	},
+}
+
+// epochArena slab-allocates the retained profile objects. A profiling run
+// creates one epoch per synchronization event per thread — each an Epoch,
+// a branch profile and three histograms, whose exact-count arrays are
+// 32 KB apiece — and allocating them object by object dominated the
+// profiler's allocation count (BenchmarkProfilerInstr reported ~1800
+// allocations per run before slabbing). The arena is single-goroutine
+// (profiling is a serial functional execution); the finished profile keeps
+// the slabs alive, exactly as individually-allocated objects would.
+type epochArena struct {
+	epochs   []Epoch
+	branches []branchmodel.Profile
+	hists    []stats.Histogram
+	linear   []uint64
+	windows  []Window
+	// alloc is the one closure handed to every histogram (allocating a
+	// closure per histogram would itself cost an allocation per epoch).
+	alloc func(n int) []uint64
+}
+
+const (
+	epochChunk = 32
+	// winsPerEpoch is the slab capacity handed to an epoch's Windows slice
+	// on its first flush; epochs sampling more windows fall back to
+	// ordinary append growth.
+	winsPerEpoch = 8
+)
+
+// windowSlice carves an empty Windows slice with winsPerEpoch capacity.
+func (a *epochArena) windowSlice() []Window {
+	if len(a.windows) < winsPerEpoch {
+		a.windows = make([]Window, 8*winsPerEpoch)
+	}
+	s := a.windows[:0:winsPerEpoch]
+	a.windows = a.windows[winsPerEpoch:]
+	return s
+}
+
+func newEpochArena() *epochArena {
+	a := &epochArena{}
+	a.alloc = a.allocUint64
+	return a
+}
+
+// allocUint64 carves a zeroed n-slice from the arena's uint64 slab.
+func (a *epochArena) allocUint64(n int) []uint64 {
+	if len(a.linear) < n {
+		a.linear = make([]uint64, 8*n)
+	}
+	b := a.linear[:n:n]
+	a.linear = a.linear[n:]
+	return b
+}
+
+// newEpoch is the arena equivalent of NewEpoch.
+func (a *epochArena) newEpoch() *Epoch {
+	if len(a.epochs) == 0 {
+		a.epochs = make([]Epoch, epochChunk)
+		a.branches = make([]branchmodel.Profile, epochChunk)
+		a.hists = make([]stats.Histogram, 3*epochChunk)
+	}
+	e := &a.epochs[0]
+	a.epochs = a.epochs[1:]
+	e.Branch = &a.branches[0]
+	a.branches = a.branches[1:]
+	e.PrivateRD, e.GlobalRD, e.InstrRD = &a.hists[0], &a.hists[1], &a.hists[2]
+	a.hists = a.hists[3:]
+	e.PrivateRD.SetLinearAllocator(a.alloc)
+	e.GlobalRD.SetLinearAllocator(a.alloc)
+	e.InstrRD.SetLinearAllocator(a.alloc)
+	return e
+}
+
+// winArena slab-allocates the sampled micro-trace window arrays for one
+// thread. Windows close at their configured length except the last one of
+// each epoch, so the arena reclaims the unused tail when a short window
+// closes — which is also why the arena is per-thread: the open window is
+// always its arena's most recent allocation.
+type winArena struct {
+	classes []trace.Class
+	dep1    []int16
+	dep2    []int16
+	grd     []int64
+	loads   []bool
+	pos     int
+	cap     int
+	chunk   int // windows per slab chunk; doubles as windows accumulate
+}
+
+const (
+	winChunkMin = 4  // first slab: threads sampling few windows stay small
+	winChunkMax = 64 // later slabs: amortize threads sampling thousands
+)
+
+// open points w's arrays at fresh zero-length slices with capacity ws.
+func (a *winArena) open(w *Window, ws int) {
+	if a.cap-a.pos < ws {
+		if a.chunk = a.chunk * 2; a.chunk < winChunkMin {
+			a.chunk = winChunkMin
+		} else if a.chunk > winChunkMax {
+			a.chunk = winChunkMax
+		}
+		n := a.chunk * ws
+		a.classes = make([]trace.Class, n)
+		a.dep1 = make([]int16, n)
+		a.dep2 = make([]int16, n)
+		a.grd = make([]int64, n)
+		a.loads = make([]bool, n)
+		a.pos, a.cap = 0, n
+	}
+	p := a.pos
+	w.Classes = a.classes[p : p : p+ws]
+	w.Dep1 = a.dep1[p : p : p+ws]
+	w.Dep2 = a.dep2[p : p : p+ws]
+	w.GlobalRD = a.grd[p : p : p+ws]
+	w.IsLoad = a.loads[p : p : p+ws]
+	a.pos = p + ws
+}
+
+// close clamps w's arrays to their recorded length (so retained windows
+// cannot grow into a neighbor's slab region) and returns the unused tail
+// of a short window to the arena.
+func (a *winArena) close(w *Window, ws int) {
+	n := w.Len()
+	w.Classes = w.Classes[:n:n]
+	w.Dep1 = w.Dep1[:n:n]
+	w.Dep2 = w.Dep2[:n:n]
+	w.GlobalRD = w.GlobalRD[:n:n]
+	w.IsLoad = w.IsLoad[:n:n]
+	a.pos -= ws - n
+}
+
 // threadState is the per-thread functional execution state.
 type threadState struct {
 	stream  trace.ThreadStream
@@ -64,6 +207,14 @@ type threadState struct {
 
 	profile *ThreadProfile
 	epoch   *Epoch
+
+	// arena supplies epoch objects; wins supplies this thread's window
+	// arrays; winBuf is the one open window (flushed by value into the
+	// epoch, so the struct is reusable).
+	arena   *epochArena
+	wins    winArena
+	winBuf  Window
+	winSize int
 
 	// Window recording state. winPhase is the position within the current
 	// sampling interval: a window records while winPhase < WindowSize.
@@ -136,20 +287,25 @@ func Run(p trace.Program, opt Options) (*Profile, error) {
 		joinWaiters:  make(map[int][]int),
 		global:       *hashmap.New[globalRec](8192),
 	}
+	arena := newEpochArena()
 	for t := 0; t < p.NumThreads(); t++ {
+		buf := bufPool.Get().(*[]trace.Item)
+		defer bufPool.Put(buf)
 		ts := &threadState{
 			stream:    p.Thread(t),
 			lastILine: noILine,
 			created:   t == 0,
-			buf:       make([]trace.Item, batchSize),
+			buf:       *buf,
 			profile:   &ThreadProfile{},
-			epoch:     NewEpoch(),
+			arena:     arena,
+			winSize:   opt.WindowSize,
 			// Pre-size the tracking tables near typical footprints (a few
 			// hundred code lines, a few thousand data lines per thread) to
 			// skip the early rehash-and-copy doublings.
 			ilast: *hashmap.New[uint64](512),
 			dlast: *hashmap.New[[2]uint64](4096),
 		}
+		ts.epoch = arena.newEpoch()
 		for i := range ts.producers {
 			ts.producers[i] = -1
 		}
@@ -218,13 +374,19 @@ func (ts *threadState) closeEpoch(e trace.Event) {
 	ts.flushWindow()
 	ts.profile.Epochs = append(ts.profile.Epochs, ts.epoch)
 	ts.profile.Events = append(ts.profile.Events, e)
-	ts.epoch = NewEpoch()
+	ts.epoch = ts.arena.newEpoch()
 	ts.winPhase = 0
 }
 
 func (ts *threadState) flushWindow() {
-	if ts.win != nil && ts.win.Len() > 0 {
-		ts.epoch.Windows = append(ts.epoch.Windows, *ts.win)
+	if ts.win != nil {
+		ts.wins.close(ts.win, ts.winSize)
+		if ts.win.Len() > 0 {
+			if ts.epoch.Windows == nil {
+				ts.epoch.Windows = ts.arena.windowSlice()
+			}
+			ts.epoch.Windows = append(ts.epoch.Windows, *ts.win)
+		}
 	}
 	ts.win = nil
 }
@@ -402,17 +564,12 @@ func (ex *exec) instr(tid int, in *trace.Instr) {
 	switch {
 	case phase == 0:
 		ts.flushWindow()
-		ws := ex.opt.WindowSize
-		// Exact-capacity buffers: windows are retained in the profile, so
-		// they cannot be pooled, but sizing them up front replaces the
-		// repeated append-growth reallocations of the sampling loop.
-		ts.win = &Window{
-			Classes:  make([]trace.Class, 0, ws),
-			Dep1:     make([]int16, 0, ws),
-			Dep2:     make([]int16, 0, ws),
-			GlobalRD: make([]int64, 0, ws),
-			IsLoad:   make([]bool, 0, ws),
-		}
+		// Exact-capacity arrays carved from the thread's window slab:
+		// windows are retained in the profile, so they cannot be pooled,
+		// but slab allocation replaces five heap objects per window with
+		// five per eight windows (short windows return their tails).
+		ts.win = &ts.winBuf
+		ts.wins.open(ts.win, ex.opt.WindowSize)
 		for i := range ts.producers {
 			ts.producers[i] = -1
 		}

@@ -74,26 +74,40 @@ const (
 	numPorts
 )
 
-// portTable maps an instruction class to its issue-port group; a direct
-// array load on the per-instruction path.
-var portTable = [trace.NumClasses]uint8{
-	trace.IntALU: portIntALU,
-	trace.IntMul: portIntMul,
-	trace.IntDiv: portIntMul,
-	trace.FPAdd:  portFP,
-	trace.FPMul:  portFP,
-	trace.FPDiv:  portFP,
-	trace.Load:   portLoad,
-	trace.Store:  portStore,
-	trace.Branch: portBranch,
-}
-
-func portOf(c trace.Class) int {
-	if int(c) < len(portTable) {
-		return int(portTable[c])
+// portTable maps an instruction class to its issue-port group; covering
+// the whole uint8 class space means the per-instruction lookup needs
+// neither bounds check nor branch, and invalid classes keep the
+// documented fallback (issue on the branch unit) exactly as the old
+// switch did.
+var portTable = func() (t [256]uint8) {
+	for i := range t {
+		t[i] = portBranch
 	}
-	return portBranch
-}
+	t[trace.IntALU] = portIntALU
+	t[trace.IntMul] = portIntMul
+	t[trace.IntDiv] = portIntMul
+	t[trace.FPAdd] = portFP
+	t[trace.FPMul] = portFP
+	t[trace.FPDiv] = portFP
+	t[trace.Load] = portLoad
+	t[trace.Store] = portStore
+	t[trace.Branch] = portBranch
+	return
+}()
+
+func portOf(c trace.Class) int { return int(portTable[c]) }
+
+// execLat caches Class.ExecLatency pre-converted to float64, indexed like
+// portTable: the default execute path then costs one load instead of a
+// latency switch plus an int-to-float conversion per instruction.
+// Class.ExecLatency returns its default for every out-of-range class, so
+// the full-range table is exact.
+var execLat = func() (t [256]float64) {
+	for i := range t {
+		t[i] = float64(trace.Class(i).ExecLatency())
+	}
+	return
+}()
 
 // noILine is an impossible I-line value (PCs are byte addresses shifted
 // right by six), marking "no line fetched yet".
@@ -190,16 +204,40 @@ type engine struct {
 	joinWaiters  map[int][]int
 }
 
+// Hints are optional workload-dependent (but configuration-independent)
+// sizing hints, typically captured once by trace.Record and applied to
+// every simulation of a design-space sweep.
+type Hints struct {
+	// DataLines is the number of distinct data lines the program touches
+	// (an upper bound works); it pre-sizes the coherence directory,
+	// replacing the rehash-growth doublings every replay would otherwise
+	// repeat.
+	DataLines int
+}
+
 // Run simulates the program on the configuration and returns the result.
 // It returns an error for invalid configurations or deadlocked programs.
 func Run(p trace.Program, cfg arch.Config) (*Result, error) {
+	return RunHinted(p, cfg, Hints{})
+}
+
+// RunHinted is Run with sizing hints. Hints affect only internal table
+// pre-sizing, never results: a hinted run is bit-identical to an unhinted
+// one. If the program is a recorded trace, its captured line count is used
+// when the caller passes none.
+func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if hints.DataLines == 0 {
+		if rec, ok := p.(*trace.Recorded); ok {
+			hints.DataLines = rec.DataLineBound()
+		}
 	}
 	e := &engine{
 		cfg:          cfg,
 		prog:         p,
-		hier:         cache.NewHierarchy(cfg),
+		hier:         cache.NewHierarchyHinted(cfg, hints.DataLines),
 		locks:        make(map[uint32]*simLock),
 		barriers:     make(map[uint32]*simBarrier),
 		condBarriers: make(map[uint32]*simBarrier),
@@ -558,7 +596,7 @@ func (e *engine) step(st *simThread, in *trace.Instr) {
 		e.hier.AccessData(st.core, in.Addr, true)
 		complete = issue + 1
 	default:
-		complete = issue + float64(in.Class.ExecLatency())
+		complete = issue + execLat[in.Class]
 	}
 	if in.Dst >= 0 {
 		st.regReady[in.Dst] = complete

@@ -46,12 +46,40 @@ type Histogram struct {
 	// Atomic because finished profiles are read by concurrent prediction
 	// workers: racing builders store identical contents, so either wins.
 	suffix atomic.Pointer[[]uint64]
+
+	// linearAlloc, when set, supplies the lazily-allocated linear array.
+	// The profiler creates histograms by the thousands (three per epoch)
+	// and sets a slab allocator so their 32 KB linear arrays come out of
+	// shared chunks instead of individual heap allocations.
+	linearAlloc func(n int) []uint64
+}
+
+// SetLinearAllocator installs f as the source of the lazily-allocated
+// exact-count array. f must return a zeroed slice of exactly the requested
+// length. Single-writer histograms only; install before the first Add.
+func (h *Histogram) SetLinearAllocator(f func(n int) []uint64) { h.linearAlloc = f }
+
+// ensureLinear allocates the exact-count array on first use.
+func (h *Histogram) ensureLinear() {
+	if h.linearAlloc != nil {
+		h.linear = h.linearAlloc(linearCutoff)
+		return
+	}
+	h.linear = make([]uint64, linearCutoff)
 }
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
 	return &Histogram{}
 }
+
+// logSubBuckets is the number of sub-buckets logBucket spreads each value
+// octave over; maxLogBuckets bounds its index space (63 octaves for
+// positive int64 values), sizing the one-shot log-array growth in AddN.
+const (
+	logSubBuckets = 2
+	maxLogBuckets = logSubBuckets * 64
+)
 
 // logBucket maps a value >= linearCutoff to a bucket index. Each octave is
 // split in two for better resolution: bucket = 2*floor(log2 v) + half.
@@ -115,7 +143,7 @@ func (h *Histogram) AddN(v int64, n uint64) {
 	}
 	if v < linearCutoff {
 		if h.linear == nil {
-			h.linear = make([]uint64, linearCutoff)
+			h.ensureLinear()
 		}
 		h.linear[v] += n
 		h.suffix.Store(nil)
@@ -123,7 +151,20 @@ func (h *Histogram) AddN(v int64, n uint64) {
 	}
 	b := logBucket(v)
 	if b >= len(h.log) {
-		grown := make([]uint64, b+1)
+		// One growth for the histogram's lifetime: the bucket index space
+		// is bounded by maxLogBuckets, so allocate it all at once instead
+		// of re-growing on each new maximum. (The max with b+1 is a guard
+		// in case logBucket ever gains resolution.)
+		size := maxLogBuckets
+		if b >= size {
+			size = b + 1
+		}
+		var grown []uint64
+		if h.linearAlloc != nil {
+			grown = h.linearAlloc(size)
+		} else {
+			grown = make([]uint64, size)
+		}
 		copy(grown, h.log)
 		h.log = grown
 	}
@@ -143,7 +184,7 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 	if other.linear != nil {
 		if h.linear == nil {
-			h.linear = make([]uint64, linearCutoff)
+			h.ensureLinear()
 		}
 		for i, c := range other.linear {
 			h.linear[i] += c

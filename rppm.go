@@ -23,6 +23,8 @@
 package rppm
 
 import (
+	"context"
+
 	"rppm/internal/arch"
 	"rppm/internal/bottlegraph"
 	"rppm/internal/core"
@@ -72,6 +74,11 @@ type (
 	// EngineEvent reports one completed non-cached unit of work to the
 	// progress sink.
 	EngineEvent = engine.Event
+
+	// RecordedProgram is a compact packed recording of a Program: capture
+	// it once with Record, replay it any number of times (concurrently)
+	// for a fraction of the generation cost. It implements Program.
+	RecordedProgram = trace.Recorded
 )
 
 // NewEngine creates a concurrent experiment engine. The zero options bound
@@ -97,6 +104,31 @@ func BaseConfig() Config { return arch.Base() }
 // DesignSpace returns the five Table IV design points (smallest..biggest),
 // all with equal peak operations per second.
 func DesignSpace() []Config { return arch.DesignSpace() }
+
+// SweepSpace returns n distinct validated configurations for design-space
+// sweeps: the Table IV points followed by derived neighborhood variants.
+func SweepSpace(n int) []Config { return arch.SweepSpace(n) }
+
+// Record captures a program into its packed replayable form. Recording
+// costs one generation pass; every replay after that decodes the packed
+// stream at a fraction of the generation cost, and any number of replays
+// may run concurrently. Engine sessions record automatically — use Record
+// directly when driving Profile or Simulate with a custom workload you
+// evaluate more than once.
+func Record(p Program) (*RecordedProgram, error) { return trace.Record(p) }
+
+// Sweep simulates bench on every configuration in cfgs through a private
+// engine session: the workload's trace is generated and recorded once and
+// every configuration replays it, fanning out across workers concurrent
+// jobs (0 = GOMAXPROCS). Results are in cfgs order and bit-identical to
+// simulating each configuration separately.
+//
+// For repeated sweeps, predictions, or sharing the recording with
+// profiling, create an Engine and use Session.SimulateSweep directly.
+func Sweep(ctx context.Context, bench Benchmark, seed uint64, scale float64, cfgs []Config, workers int) ([]*SimResult, error) {
+	s := NewEngine(EngineOptions{Workers: workers}).NewSession()
+	return s.SimulateSweep(ctx, bench, seed, scale, cfgs)
+}
 
 // Benchmarks returns the built-in 26-benchmark suite: 16 Rodinia-like
 // (OpenMP-style, barrier-synchronized) and 10 Parsec-like (pthread-style)

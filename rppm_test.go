@@ -181,3 +181,60 @@ func TestEngineSessionFlow(t *testing.T) {
 			simSession.Cycles, direct.Cycles)
 	}
 }
+
+// TestSweepAndRecordFlow exercises the public record/replay surface: a
+// one-shot Sweep matches per-config Simulate, and an explicitly recorded
+// program profiles and simulates exactly like its generative original.
+func TestSweepAndRecordFlow(t *testing.T) {
+	bench, err := rppm.BenchmarkByName("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := rppm.SweepSpace(7)
+	sims, err := rppm.Sweep(context.Background(), bench, 1, 0.05, space, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) != len(space) {
+		t.Fatalf("Sweep returned %d results for %d configs", len(sims), len(space))
+	}
+
+	prog := bench.Build(1, 0.05)
+	rec, err := rppm.Record(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range space {
+		res, err := rppm.Simulate(rec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != sims[i].Cycles {
+			t.Fatalf("%s: recorded-replay simulation %v cycles, sweep %v", cfg.Name, res.Cycles, sims[i].Cycles)
+		}
+	}
+	direct, err := rppm.Simulate(prog, rppm.BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := rppm.Simulate(rec, rppm.BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Cycles != replayed.Cycles {
+		t.Fatalf("replayed simulation diverged: %v vs %v cycles", replayed.Cycles, direct.Cycles)
+	}
+
+	pd, err := rppm.Profile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := rppm.Profile(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.TotalInstr() != pr.TotalInstr() || pd.NumThreads != pr.NumThreads {
+		t.Fatalf("replayed profile diverged: %d/%d instr, %d/%d threads",
+			pr.TotalInstr(), pd.TotalInstr(), pr.NumThreads, pd.NumThreads)
+	}
+}

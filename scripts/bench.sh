@@ -1,22 +1,24 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's benchmark harness and emit BENCH_<N>.json
 # (ns/op and allocs/op per benchmark) so the performance trajectory is
-# tracked PR over PR.
+# tracked PR over PR, then print an A/B delta table against the newest
+# previous BENCH_*.json.
 #
 # Usage:
 #   scripts/bench.sh [N] [micro-benchtime] [macro-benchtime]
 #
-#   N                suffix of the output file BENCH_<N>.json (default: 2)
+#   N                suffix of the output file BENCH_<N>.json (default: 3)
 #   micro-benchtime  -benchtime for the micro-benchmarks (default: 1s)
 #   macro-benchtime  -benchtime for the experiment benchmarks (default: 1x)
 #
-# The micro-benchmarks (profiler, simulator, caches, hashmap) are the
-# per-instruction hot-path gauges; the root-level benchmarks regenerate the
-# paper's tables and figures end to end.
+# The micro-benchmarks (profiler, simulator, caches, hashmap, trace
+# record/replay) are the per-instruction hot-path gauges; the root-level
+# benchmarks regenerate the paper's tables and figures end to end and run
+# the 16-config design-space sweep against its regeneration baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-2}"
+N="${1:-3}"
 MICRO_TIME="${2:-1s}"
 MACRO_TIME="${3:-1x}"
 OUT="BENCH_${N}.json"
@@ -24,9 +26,9 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 echo "== micro-benchmarks (-benchtime $MICRO_TIME)" >&2
-go test -run XXX -bench 'BenchmarkProfilerInstr|BenchmarkSimStep|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkUpsert' \
+go test -run XXX -bench 'BenchmarkProfilerInstr|BenchmarkSimStep|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkUpsert|BenchmarkRecord|BenchmarkReplay|BenchmarkGenerate' \
   -benchmem -benchtime "$MICRO_TIME" \
-  ./internal/profiler ./internal/sim ./internal/cache ./internal/hashmap \
+  ./internal/profiler ./internal/sim ./internal/cache ./internal/hashmap ./internal/trace \
   | tee "$TMP/micro.txt" >&2
 
 echo "== experiment benchmarks (-benchtime $MACRO_TIME)" >&2
@@ -34,7 +36,7 @@ go test -run XXX -bench . -benchmem -benchtime "$MACRO_TIME" . \
   | tee "$TMP/macro.txt" >&2
 
 python3 - "$TMP/micro.txt" "$TMP/macro.txt" "$OUT" <<'PY'
-import json, re, sys
+import glob, json, os, re, sys
 
 results = []
 for path in sys.argv[1:3]:
@@ -49,6 +51,34 @@ for path in sys.argv[1:3]:
             entry[key] = float(val)
         results.append(entry)
 
-json.dump({"benchmarks": results}, open(sys.argv[3], "w"), indent=2)
-print(f"wrote {sys.argv[3]} ({len(results)} benchmarks)", file=sys.stderr)
+out = sys.argv[3]
+json.dump({"benchmarks": results}, open(out, "w"), indent=2)
+print(f"wrote {out} ({len(results)} benchmarks)", file=sys.stderr)
+
+# A/B delta table against the newest previous BENCH_*.json.
+def index(path):
+    return {b["name"]: b for b in json.load(open(path))["benchmarks"]}
+
+prev = sorted((p for p in glob.glob("BENCH_*.json")
+               if p != out and re.fullmatch(r"BENCH_\d+\.json", os.path.basename(p))),
+              key=lambda p: int(re.search(r"(\d+)", os.path.basename(p)).group(1)))
+if prev:
+    base = prev[-1]
+    old, new = index(base), index(out)
+    print(f"\n== delta vs {base} (negative = faster)")
+    print(f"{'benchmark':<34} {'old':>12} {'new':>12} {'Δ ns/op':>9} {'Δ allocs':>9}")
+    for name in new:
+        n = new[name]
+        o = old.get(name)
+        if o is None:
+            print(f"{name:<34} {'-':>12} {n['ns_per_op']:>12.4g} {'new':>9}")
+            continue
+        d = 100.0 * (n["ns_per_op"] - o["ns_per_op"]) / o["ns_per_op"]
+        da = ""
+        if "allocs_per_op" in o and "allocs_per_op" in n and o["allocs_per_op"]:
+            da = f"{100.0 * (n['allocs_per_op'] - o['allocs_per_op']) / o['allocs_per_op']:+.0f}%"
+        print(f"{name:<34} {o['ns_per_op']:>12.4g} {n['ns_per_op']:>12.4g} {d:>+8.1f}% {da:>9}")
+    gone = [name for name in old if name not in new]
+    if gone:
+        print("dropped:", ", ".join(gone))
 PY
