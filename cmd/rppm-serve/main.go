@@ -1,0 +1,25 @@
+// Command rppm-serve runs the resident RPPM prediction service: a
+// long-running HTTP/JSON daemon that keeps recorded traces, profiles and
+// predictions warm in a memory-budgeted cache, coalesces concurrent
+// requests for the same work, and optionally persists traces across
+// restarts.
+//
+// Usage:
+//
+//	rppm-serve [-addr 127.0.0.1:8344] [-parallel N] [-max-bytes 256MiB]
+//	           [-trace-dir DIR] [-max-inflight N]
+//
+// Endpoints: /v1/predict, /v1/sweep, /v1/benchmarks, /v1/archs, /healthz,
+// /metrics (Prometheus text). See the README's "Serving" section for curl
+// examples. SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"os"
+
+	"rppm/internal/server"
+)
+
+func main() {
+	os.Exit(server.Main(os.Args[1:]))
+}

@@ -9,13 +9,18 @@
 //	rppm compare  -bench NAME [flags]  # MAIN/CRIT/RPPM vs simulation
 //	rppm bottle   -bench NAME [flags]  # bottle graphs (model vs simulation)
 //	rppm sweep    -bench NAME [flags]  # record once, simulate -configs N points
+//	rppm serve    [flags]              # resident HTTP/JSON prediction service
 //
 // Common flags: -config (smallest|small|base|big|biggest), -scale, -seed,
-// -parallel; sweep takes -configs (design points, Table IV + variants).
+// -parallel; sweep takes -configs (design points, Table IV + variants);
+// predict takes -json (machine-readable output, byte-comparable with the
+// serve endpoint); serve takes -addr, -max-bytes, -trace-dir,
+// -max-inflight (see `rppm serve -h` and the README's Serving section).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +28,7 @@ import (
 
 	"rppm"
 	"rppm/internal/arch"
+	"rppm/internal/server"
 	"rppm/internal/textplot"
 )
 
@@ -32,6 +38,10 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "serve" {
+		// The serve subcommand owns its flag set (shared with rppm-serve).
+		os.Exit(server.Main(os.Args[2:]))
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	benchName := fs.String("bench", "", "benchmark name (see `rppm list`)")
 	configName := fs.String("config", "base", "target configuration name")
@@ -39,6 +49,7 @@ func main() {
 	seed := fs.Uint64("seed", 1, "workload generation seed")
 	parallel := fs.Int("parallel", 0, "max concurrent profile/simulate jobs (0 = GOMAXPROCS)")
 	nconfigs := fs.Int("configs", 16, "design points for `rppm sweep` (Table IV + derived variants)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (predict only; matches the /v1/predict wire format)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -72,6 +83,12 @@ func main() {
 			fatal(fmt.Errorf("-scale must be positive, got %v", *scale))
 		}
 		session := rppm.NewEngine(rppm.EngineOptions{Workers: *parallel}).NewSession()
+		if cmd == "predict" && *jsonOut {
+			if err := jsonPredict(session, *benchName, cfg, *scale, *seed); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if err := run(session, cmd, *benchName, cfg, *scale, *seed); err != nil {
 			fatal(err)
 		}
@@ -82,7 +99,25 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle|sweep} [-bench NAME] [-config base] [-configs 16] [-scale 0.3] [-seed 1] [-parallel N]")
+	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle|sweep|serve} [-bench NAME] [-config base] [-configs 16] [-scale 0.3] [-seed 1] [-parallel N] [-json]")
+}
+
+// jsonPredict emits the prediction in the /v1/predict wire format, built
+// by the same construction path the server uses — so the output is
+// byte-comparable with a curl of the serving endpoint (the CI smoke job
+// diffs exactly that).
+func jsonPredict(s *rppm.Session, benchName string, cfg arch.Config, scale float64, seed uint64) error {
+	bench, err := rppm.BenchmarkByName(benchName)
+	if err != nil {
+		return err
+	}
+	resp, err := server.BuildPredict(context.Background(), s, bench, cfg, server.PredictRequest{
+		Bench: benchName, Config: cfg.Name, Seed: seed, Scale: scale,
+	})
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(os.Stdout).Encode(resp)
 }
 
 // sweep records the benchmark's trace once and simulates every design

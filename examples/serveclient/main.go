@@ -1,0 +1,63 @@
+// Serveclient: drive a running `rppm serve` daemon through the typed
+// client. Start the service first, e.g.
+//
+//	go run ./cmd/rppm-serve -addr 127.0.0.1:8344 -max-bytes 256MiB
+//
+// then run this example (RPPM_SERVE_URL overrides the default address).
+// The first prediction per benchmark pays the record+profile pass on the
+// server; every later one — including from other processes — is a cache
+// hit, which is the point of keeping the service resident.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rppm"
+)
+
+func main() {
+	base := os.Getenv("RPPM_SERVE_URL")
+	if base == "" {
+		base = "http://127.0.0.1:8344"
+	}
+	c := rppm.NewClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	if err := c.Healthz(ctx); err != nil {
+		log.Fatalf("no rppm-serve at %s (start one with `go run ./cmd/rppm-serve`): %v", base, err)
+	}
+
+	// One prediction per design point. The server profiles the workload
+	// once and reuses that profile for every configuration.
+	archs, err := c.Archs(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %14s %12s %10s\n", "config", "cycles", "time", "latency")
+	for _, cfg := range archs {
+		start := time.Now()
+		resp, err := c.Predict(ctx, rppm.PredictRequest{
+			Bench: "kmeans", Config: cfg.Name, Seed: 1, Scale: 0.3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %14.0f %10.3f ms %10s\n",
+			resp.Config, resp.Cycles, resp.Seconds*1e3, time.Since(start).Round(time.Microsecond))
+	}
+
+	// Re-request the first point: served entirely from the resident cache.
+	start := time.Now()
+	if _, err := c.Predict(ctx, rppm.PredictRequest{
+		Bench: "kmeans", Config: archs[0].Name, Seed: 1, Scale: 0.3,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwarm re-request: %s (cache hit + JSON encode)\n",
+		time.Since(start).Round(time.Microsecond))
+}

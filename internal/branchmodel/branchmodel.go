@@ -37,6 +37,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"unsafe"
 
 	"rppm/internal/hashmap"
 )
@@ -67,6 +68,22 @@ func NewProfile() *Profile {
 	return &Profile{}
 }
 
+// SiteArena slab-allocates the site tables of many profiles. The profiler
+// creates one branch profile per epoch, and their individually-allocated
+// tables dominated its residual allocation count; PresizeIn carves them
+// out of shared chunks instead. Single-goroutine, like profiling itself.
+type SiteArena struct {
+	arena hashmap.Arena[SiteStats]
+}
+
+// PresizeIn points p's site table into the arena, pre-sized for about
+// hint sites. Call on a fresh profile before the first Record; the hint
+// is typically the previous epoch's NumSites, since epochs of one thread
+// execute the same static code.
+func (p *Profile) PresizeIn(a *SiteArena, hint int) {
+	p.sites.InitIn(&a.arena, hint)
+}
+
 // Site returns the stats recorded for a site id.
 func (p *Profile) Site(id uint16) (SiteStats, bool) {
 	return p.sites.Get(uint64(id))
@@ -89,6 +106,15 @@ func (p *Profile) invalidate() {
 
 // NumSites returns the number of distinct static branch sites recorded.
 func (p *Profile) NumSites() int { return p.sites.Len() }
+
+// SizeBytes returns the resident size of the profile, for memory-budget
+// accounting. The memoized sorted snapshot is charged at its eventual
+// size whether or not it has been built yet: finished profiles build it
+// lazily on the first prediction, and accounting must not depend on when
+// the measurement ran relative to that.
+func (p *Profile) SizeBytes() int64 {
+	return p.sites.SizeBytes() + int64(p.sites.Len())*int64(unsafe.Sizeof(SiteStats{}))
+}
 
 // Record adds one dynamic branch execution to the profile.
 func (p *Profile) Record(site uint16, taken bool) {

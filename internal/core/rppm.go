@@ -29,6 +29,7 @@ package core
 
 import (
 	"fmt"
+	"unsafe"
 
 	"rppm/internal/arch"
 	"rppm/internal/interval"
@@ -57,6 +58,18 @@ type Prediction struct {
 	Cycles  float64
 	Seconds float64
 	Threads []ThreadPrediction
+}
+
+// SizeBytes returns the resident size of the prediction, for memory-budget
+// accounting in the engine's cache.
+func (p *Prediction) SizeBytes() int64 {
+	n := int64(unsafe.Sizeof(*p))
+	for i := range p.Threads {
+		n += int64(unsafe.Sizeof(p.Threads[i]))
+		n += 8 * int64(len(p.Threads[i].EpochActive))
+		n += 16 * int64(len(p.Threads[i].ActiveIntervals))
+	}
+	return n
 }
 
 // TotalInstr returns the profiled instruction count covered by the

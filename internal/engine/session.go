@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"sync"
@@ -57,46 +58,143 @@ type predKey struct {
 	Kind  predKind
 }
 
+// SessionOptions configure a session's resident cache. The zero value is
+// the classic unbounded one-run session.
+type SessionOptions struct {
+	// MaxBytes bounds the resident bytes of completed cache entries
+	// (recorded traces, profiles, simulation results, predictions,
+	// size-accounted via their SizeBytes methods). When the budget is
+	// exceeded, least-recently-used unpinned entries are evicted; entries
+	// an in-flight request holds (pinned) are never evicted, so the
+	// resident total may transiently overshoot while work is in flight.
+	// Zero or negative means unbounded.
+	MaxBytes int64
+
+	// LoadRecorded, when non-nil, is consulted on a recorded-trace cache
+	// miss before paying the capture pass — the serving layer's trace-dir
+	// reload hook. A successful load counts as a trace load in Stats, and
+	// no EventRecord is emitted. The loaded recording must replay
+	// identically to a fresh capture (guaranteed by the trace file
+	// format's differential round-trip test).
+	LoadRecorded func(Key) (*trace.Recorded, bool)
+
+	// StoreRecorded, when non-nil, receives every freshly captured
+	// recording, synchronously from the capturing goroutine — the serving
+	// layer's trace-dir spill hook. Loads do not re-store.
+	StoreRecorded func(Key, *trace.Recorded)
+}
+
 // entry is one singleflight cache slot: the first requester computes, every
-// other requester waits on done.
+// other requester waits on done. Completed entries carry their accounted
+// size and a pin count; pinned entries (refs > 0, or still computing) are
+// never evicted.
 type entry struct {
 	done chan struct{}
 	val  any
 	err  error
+
+	key      any
+	size     int64
+	refs     int           // pins held by in-flight requests
+	complete bool          // val/err are final (set under Session.mu)
+	evicted  bool          // removed from the cache (value stays usable)
+	elem     *list.Element // position in the unpinned-LRU list, nil if pinned
+}
+
+// Stats is a snapshot of a session's cache counters, the raw material for
+// the serving layer's /metrics endpoint.
+type Stats struct {
+	Hits          uint64 // completed-entry cache hits
+	Misses        uint64 // computations started
+	Coalesced     uint64 // requests that attached to an in-flight computation
+	Evictions     uint64 // completed entries evicted under the byte budget
+	TraceLoads    uint64 // recordings loaded via LoadRecorded instead of captured
+	BytesResident int64  // accounted bytes of completed cache entries
+	Entries       int    // live cache entries, including in-flight ones
 }
 
 // Session is a shared profile/simulation/prediction cache on top of an
 // Engine's worker pool. All methods are safe for concurrent use; results
-// for equal keys are computed exactly once per session.
+// for equal keys are computed exactly once per session (concurrent
+// requesters coalesce onto the in-flight computation).
 //
-// A session never evicts: it is meant to live for one run (one CLI
-// invocation, one test binary, one evaluation sweep), not forever.
+// An unbounded session (NewSession) never evicts: it is meant to live for
+// one run (one CLI invocation, one test binary, one evaluation sweep). A
+// budgeted session (NewSessionWith with MaxBytes set) is the resident
+// store behind `rppm serve`: completed entries are size-accounted into an
+// LRU and evicted when the budget is exceeded, except while an in-flight
+// request holds them.
 type Session struct {
-	eng *Engine
+	eng  *Engine
+	opts SessionOptions
 
 	mu      sync.Mutex
 	entries map[any]*entry
+	lru     *list.List // *entry values: completed, unpinned; front = most recent
+	bytes   int64      // accounted size of completed entries
+
+	hits, misses, coalesced, evictions, traceLoads uint64
 }
 
-// NewSession creates an empty session backed by the engine's worker pool.
+// NewSession creates an empty unbounded session backed by the engine's
+// worker pool.
 func (e *Engine) NewSession() *Session {
-	return &Session{eng: e, entries: make(map[any]*entry)}
+	return e.NewSessionWith(SessionOptions{})
+}
+
+// NewSessionWith creates a session with an explicit cache configuration
+// (memory budget, trace persistence hooks).
+func (e *Engine) NewSessionWith(opts SessionOptions) *Session {
+	return &Session{eng: e, opts: opts, entries: make(map[any]*entry), lru: list.New()}
 }
 
 // Engine returns the engine this session schedules on.
 func (s *Session) Engine() *Engine { return s.eng }
 
+// Stats returns a snapshot of the session's cache counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:          s.hits,
+		Misses:        s.misses,
+		Coalesced:     s.coalesced,
+		Evictions:     s.evictions,
+		TraceLoads:    s.traceLoads,
+		BytesResident: s.bytes,
+		Entries:       len(s.entries),
+	}
+}
+
 func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// do returns the cached value for k, computing it via fn exactly once.
-// Duplicate callers block until the in-flight computation finishes (or
-// their own ctx is done). Entries that failed due to context cancellation
-// are forgotten — the entry is removed before done is closed — so both a
-// later call and a waiter with a live context recompute them instead of
-// inheriting another caller's cancellation.
-func (s *Session) do(ctx context.Context, k any, fn func(context.Context) (any, error)) (any, error) {
+// sizer is implemented by every cached result type (recorded traces,
+// profiles, simulation results, predictions, generative programs).
+type sizer interface{ SizeBytes() int64 }
+
+// entryOverhead approximates the cache bookkeeping per entry: the entry
+// struct, its map slot, the done channel and the LRU element.
+const entryOverhead = 192
+
+func entrySize(v any) int64 {
+	if sz, ok := v.(sizer); ok {
+		return sz.SizeBytes() + entryOverhead
+	}
+	return entryOverhead
+}
+
+// get returns the entry for k, computing it via fn exactly once, with the
+// entry pinned: the caller must release() it once the value is no longer in
+// use, at which point the entry becomes evictable. Duplicate callers block
+// until the in-flight computation finishes (or their own ctx is done).
+// Entries that failed due to context cancellation are forgotten — the entry
+// is removed before done is closed — so both a later call and a waiter with
+// a live context recompute them instead of inheriting another caller's
+// cancellation. get itself returns an error only for the caller's own
+// context; computation failures are cached and ride in the entry.
+func (s *Session) get(ctx context.Context, k any, fn func(context.Context) (any, error)) (*entry, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -104,36 +202,141 @@ func (s *Session) do(ctx context.Context, k any, fn func(context.Context) (any, 
 		s.mu.Lock()
 		en, ok := s.entries[k]
 		if !ok {
-			en = &entry{done: make(chan struct{})}
+			en = &entry{done: make(chan struct{}), key: k, refs: 1}
 			s.entries[k] = en
+			s.misses++
 			s.mu.Unlock()
 			en.val, en.err = fn(ctx)
+			s.mu.Lock()
 			if en.err != nil && isCtxErr(en.err) {
-				s.mu.Lock()
 				delete(s.entries, k)
+				en.evicted = true
 				s.mu.Unlock()
+				close(en.done)
+				return nil, en.err
 			}
+			en.complete = true
+			en.size = entrySize(en.val)
+			s.bytes += en.size
+			s.evictLocked()
+			s.mu.Unlock()
 			close(en.done)
-			return en.val, en.err
+			return en, nil
 		}
+		if en.complete {
+			// Completed entries inside the map are never marked evicted, so
+			// this hit can pin unconditionally.
+			en.refs++
+			if en.elem != nil {
+				s.lru.Remove(en.elem)
+				en.elem = nil
+			}
+			s.hits++
+			s.mu.Unlock()
+			return en, nil
+		}
+		s.coalesced++
 		s.mu.Unlock()
 		select {
 		case <-en.done:
 			if en.err != nil && isCtxErr(en.err) {
 				continue // the computing caller was canceled, not us: retry
 			}
-			return en.val, en.err
+			// Pin unless the entry was evicted in the window between the
+			// computer's release and this wake-up; an evicted entry's value
+			// stays valid, it just no longer occupies the cache.
+			s.mu.Lock()
+			if !en.evicted {
+				en.refs++
+				if en.elem != nil {
+					s.lru.Remove(en.elem)
+					en.elem = nil
+				}
+			}
+			s.mu.Unlock()
+			return en, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
 }
 
+// release drops one pin. When the last pin drops, the entry joins the LRU
+// and becomes evictable under the session's byte budget.
+func (s *Session) release(en *entry) {
+	s.mu.Lock()
+	if en.complete && !en.evicted && en.refs > 0 {
+		en.refs--
+		if en.refs == 0 {
+			en.elem = s.lru.PushFront(en)
+			s.evictLocked()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// evictLocked evicts least-recently-used unpinned entries until the
+// resident total fits the budget. Pinned entries are never in the LRU list,
+// so an entry an in-flight request holds is structurally unevictable.
+func (s *Session) evictLocked() {
+	if s.opts.MaxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.opts.MaxBytes {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		en := s.lru.Remove(back).(*entry)
+		en.elem = nil
+		en.evicted = true
+		delete(s.entries, en.key)
+		s.bytes -= en.size
+		s.evictions++
+	}
+}
+
+// do is get for callers that extract the value immediately and hold no
+// reference across further heavy work: the pin is dropped before returning.
+func (s *Session) do(ctx context.Context, k any, fn func(context.Context) (any, error)) (any, error) {
+	v, unpin, err := s.pinned(ctx, k, fn)
+	if err != nil {
+		return nil, err
+	}
+	unpin()
+	return v, nil
+}
+
+// pinned is get with the error split out of the entry: it returns the
+// value, an unpin closure the caller must invoke when done using the
+// value, and any cached computation error (already unpinned).
+func (s *Session) pinned(ctx context.Context, k any, fn func(context.Context) (any, error)) (any, func(), error) {
+	en, err := s.get(ctx, k, fn)
+	if err != nil {
+		return nil, nil, err
+	}
+	if en.err != nil {
+		s.release(en)
+		return nil, nil, en.err
+	}
+	return en.val, func() { s.release(en) }, nil
+}
+
 // Program returns the instantiated workload for (bm, seed, scale), building
 // it at most once per session. The returned program is immutable and
 // restartable, so the profiler and the simulator can share it.
 func (s *Session) Program(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64) (trace.Program, error) {
-	v, err := s.do(ctx, progKey{Key{bm.Name, seed, scale}}, func(ctx context.Context) (any, error) {
+	p, unpin, err := s.programPinned(ctx, bm, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	unpin()
+	return p, nil
+}
+
+// programPinned is Program with the cache entry pinned for the caller.
+func (s *Session) programPinned(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64) (trace.Program, func(), error) {
+	v, unpin, err := s.pinned(ctx, progKey{Key{bm.Name, seed, scale}}, func(ctx context.Context) (any, error) {
 		if err := s.eng.acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -145,9 +348,9 @@ func (s *Session) Program(ctx context.Context, bm workload.Benchmark, seed uint6
 		return p, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return v.(trace.Program), nil
+	return v.(trace.Program), unpin, nil
 }
 
 // Recorded returns the packed replayable trace of (bm, seed, scale),
@@ -157,11 +360,41 @@ func (s *Session) Program(ctx context.Context, bm workload.Benchmark, seed uint6
 // cursors, which is what makes an N-configuration sweep cost one
 // generation plus N cheap replays instead of N regenerations.
 func (s *Session) Recorded(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64) (*trace.Recorded, error) {
-	v, err := s.do(ctx, recKey{Key{bm.Name, seed, scale}}, func(ctx context.Context) (any, error) {
-		prog, err := s.Program(ctx, bm, seed, scale)
+	rec, unpin, err := s.recordedPinned(ctx, bm, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	unpin()
+	return rec, nil
+}
+
+// recordedPinned is Recorded with the cache entry pinned: consumers that
+// replay the recording (profiler, simulator) hold the pin for the duration
+// of the replay, so a budgeted session cannot evict a trace an in-flight
+// request is executing.
+func (s *Session) recordedPinned(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64) (*trace.Recorded, func(), error) {
+	k := Key{bm.Name, seed, scale}
+	v, unpin, err := s.pinned(ctx, recKey{k}, func(ctx context.Context) (any, error) {
+		// Reload hook first: a persisted trace is much cheaper than the
+		// generation pass (and does not need the program built at all).
+		if s.opts.LoadRecorded != nil {
+			if err := s.eng.acquire(ctx); err != nil {
+				return nil, err
+			}
+			rec, ok := s.opts.LoadRecorded(k)
+			s.eng.release()
+			if ok {
+				s.mu.Lock()
+				s.traceLoads++
+				s.mu.Unlock()
+				return rec, nil
+			}
+		}
+		prog, unpinProg, err := s.programPinned(ctx, bm, seed, scale)
 		if err != nil {
 			return nil, err
 		}
+		defer unpinProg()
 		if err := s.eng.acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -173,20 +406,15 @@ func (s *Session) Recorded(ctx context.Context, bm workload.Benchmark, seed uint
 		}
 		s.eng.emit(Event{Kind: EventRecord, Bench: bm.Name, Seed: seed, Scale: scale,
 			Duration: time.Since(start)})
+		if s.opts.StoreRecorded != nil {
+			s.opts.StoreRecorded(k, rec)
+		}
 		return rec, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return v.(*trace.Recorded), nil
-}
-
-// replayable returns the stream source consumers execute: the recorded
-// trace. Replay is differentially guaranteed (and golden-hash enforced) to
-// yield the canonical interleaving item-for-item, so profiles and
-// simulation results are bit-identical to running the generative program.
-func (s *Session) replayable(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64) (trace.Program, error) {
-	return s.Recorded(ctx, bm, seed, scale)
+	return v.(*trace.Recorded), unpin, nil
 }
 
 // Profile returns the microarchitecture-independent profile of
@@ -200,11 +428,23 @@ func (s *Session) Profile(ctx context.Context, bm workload.Benchmark, seed uint6
 // ablation studies, which profile with individual mechanisms disabled).
 // Profiles with different options are cached independently.
 func (s *Session) ProfileOpts(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, opts profiler.Options) (*profiler.Profile, error) {
-	v, err := s.do(ctx, profKey{Key{bm.Name, seed, scale}, opts}, func(ctx context.Context) (any, error) {
-		prog, err := s.replayable(ctx, bm, seed, scale)
+	prof, unpin, err := s.profilePinned(ctx, bm, seed, scale, opts)
+	if err != nil {
+		return nil, err
+	}
+	unpin()
+	return prof, nil
+}
+
+// profilePinned is ProfileOpts with the cache entry pinned for the caller.
+// The recorded trace stays pinned while the profiler replays it.
+func (s *Session) profilePinned(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, opts profiler.Options) (*profiler.Profile, func(), error) {
+	v, unpin, err := s.pinned(ctx, profKey{Key{bm.Name, seed, scale}, opts}, func(ctx context.Context) (any, error) {
+		prog, unpinRec, err := s.recordedPinned(ctx, bm, seed, scale)
 		if err != nil {
 			return nil, err
 		}
+		defer unpinRec()
 		if err := s.eng.acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -219,19 +459,20 @@ func (s *Session) ProfileOpts(ctx context.Context, bm workload.Benchmark, seed u
 		return prof, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return v.(*profiler.Profile), nil
+	return v.(*profiler.Profile), unpin, nil
 }
 
 // Simulate returns the cycle-level reference simulation of (bm, seed,
 // scale) on cfg, running it at most once per session and configuration.
 func (s *Session) Simulate(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config) (*sim.Result, error) {
 	v, err := s.do(ctx, simKey{Key{bm.Name, seed, scale}, cfg}, func(ctx context.Context) (any, error) {
-		prog, err := s.replayable(ctx, bm, seed, scale)
+		prog, unpinRec, err := s.recordedPinned(ctx, bm, seed, scale)
 		if err != nil {
 			return nil, err
 		}
+		defer unpinRec()
 		if err := s.eng.acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -266,11 +507,16 @@ func (s *Session) Simulate(ctx context.Context, bm workload.Benchmark, seed uint
 func (s *Session) SimulateSweep(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfgs []arch.Config) ([]*sim.Result, error) {
 	// Capture the recording before fanning out, so the sweep's workers all
 	// attach to the one in-flight capture instead of racing to start it.
-	if _, err := s.Recorded(ctx, bm, seed, scale); err != nil {
+	// The pin is held across the whole fan-out: even when the sweep's
+	// results overflow a budgeted session, the one trace every
+	// configuration replays is captured exactly once.
+	_, unpin, err := s.recordedPinned(ctx, bm, seed, scale)
+	if err != nil {
 		return nil, err
 	}
+	defer unpin()
 	out := make([]*sim.Result, len(cfgs))
-	err := s.ForEach(ctx, len(cfgs), func(ctx context.Context, i int) error {
+	err = s.ForEach(ctx, len(cfgs), func(ctx context.Context, i int) error {
 		res, err := s.Simulate(ctx, bm, seed, scale, cfgs[i])
 		if err != nil {
 			return err
@@ -321,10 +567,11 @@ func (s *Session) PredictCrit(ctx context.Context, bm workload.Benchmark, seed u
 
 func (s *Session) predict(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config, kind predKind, profOpts profiler.Options, modelOpts interval.ModelOptions) (any, error) {
 	return s.do(ctx, predKey{Key{bm.Name, seed, scale}, cfg, profOpts, modelOpts, kind}, func(ctx context.Context) (any, error) {
-		prof, err := s.ProfileOpts(ctx, bm, seed, scale, profOpts)
+		prof, unpinProf, err := s.profilePinned(ctx, bm, seed, scale, profOpts)
 		if err != nil {
 			return nil, err
 		}
+		defer unpinProf()
 		if err := s.eng.acquire(ctx); err != nil {
 			return nil, err
 		}

@@ -26,6 +26,8 @@
 // are done; writes require external synchronization.
 package hashmap
 
+import "unsafe"
+
 // minCap is the smallest slot-array size; must be a power of two.
 const minCap = 16
 
@@ -48,6 +50,55 @@ type Map[V any] struct {
 	// existed records whether the last Ref call found its key already
 	// present; it lets Upsert and RefPresent reuse Ref's probe sequence.
 	existed bool
+
+	// arena, when set via InitIn, supplies the slot arrays from shared
+	// slabs instead of individual heap allocations.
+	arena *Arena[V]
+}
+
+// Arena slab-allocates slot arrays for many small maps: a consumer that
+// creates maps by the thousands (the profiler's per-epoch branch-site
+// tables) carves them out of shared chunks via InitIn, trading one heap
+// allocation per map for one per chunk. Slot arrays abandoned by a rehash
+// stay in their slab until the arena itself is released, so arenas suit
+// maps that are pre-sized well enough to grow rarely. Single-goroutine.
+type Arena[V any] struct {
+	free []slot[V]
+}
+
+// arenaChunkSlots is the minimum slab size, in slots.
+const arenaChunkSlots = 256
+
+// take carves a zeroed n-slot array (n a power of two) from the arena.
+// Small requests come out of 8×-sized chunks; requests of 8K slots and up
+// get exact chunks, since tables that large amortize their own allocation
+// and an 8× chunk would waste megabytes.
+func (a *Arena[V]) take(n int) []slot[V] {
+	if len(a.free) < n {
+		c := 8 * n
+		switch {
+		case n >= 1<<13:
+			c = n
+		case c < arenaChunkSlots:
+			c = arenaChunkSlots
+		}
+		a.free = make([]slot[V], c)
+	}
+	s := a.free[:n:n]
+	a.free = a.free[n:]
+	return s
+}
+
+// InitIn points an empty map's slot storage into the arena, pre-sized for
+// about hint entries; later growth also draws from the arena. Must be
+// called before the first insertion.
+func (m *Map[V]) InitIn(a *Arena[V], hint int) {
+	m.arena = a
+	c := minCap
+	for c < hint+hint/3 { // hold hint entries below the 3/4 load factor
+		c <<= 1
+	}
+	m.alloc(c)
 }
 
 // New returns a map pre-sized for about hint entries.
@@ -62,7 +113,11 @@ func New[V any](hint int) *Map[V] {
 }
 
 func (m *Map[V]) alloc(capacity int) {
-	m.slots = make([]slot[V], capacity)
+	if m.arena != nil {
+		m.slots = m.arena.take(capacity)
+	} else {
+		m.slots = make([]slot[V], capacity)
+	}
 	m.mask = uint64(capacity - 1)
 	m.grow = capacity * 3 / 4
 }
@@ -180,6 +235,12 @@ func (m *Map[V]) Range(fn func(k uint64, v *V)) {
 			fn(m.slots[i].key, &m.slots[i].val)
 		}
 	}
+}
+
+// SizeBytes returns the resident size of the table's slot storage plus the
+// struct itself, for memory-budget accounting of retained profiles.
+func (m *Map[V]) SizeBytes() int64 {
+	return int64(unsafe.Sizeof(*m)) + int64(len(m.slots))*int64(unsafe.Sizeof(slot[V]{}))
 }
 
 func (m *Map[V]) rehash() {

@@ -191,3 +191,51 @@ func TestRangeAndRefPresent(t *testing.T) {
 		}
 	}
 }
+
+// TestArenaDifferential drives many small arena-backed maps against
+// built-in maps with a shared randomized workload, covering growth past
+// the pre-size hint (which re-draws slots from the arena) and the zero
+// key, plus a large table that crosses the exact-chunk threshold.
+func TestArenaDifferential(t *testing.T) {
+	rng := prng.New(11)
+	var a Arena[uint64]
+	for round := 0; round < 50; round++ {
+		var m Map[uint64]
+		m.InitIn(&a, int(rng.Uint64n(40)))
+		ref := make(map[uint64]uint64)
+		ops := int(rng.Uint64n(300))
+		for op := 0; op < ops; op++ {
+			k := rng.Uint64n(128) // small space: overwrites + growth past hint
+			if rng.Bool(0.1) {
+				k = 0
+			}
+			v := rng.Uint64()
+			prev, existed := m.Upsert(k, v)
+			refPrev, refExisted := ref[k]
+			if existed != refExisted || prev != refPrev {
+				t.Fatalf("round %d op %d: Upsert(%#x) = (%d, %v), want (%d, %v)",
+					round, op, k, prev, existed, refPrev, refExisted)
+			}
+			ref[k] = v
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("round %d: Len() = %d, want %d", round, m.Len(), len(ref))
+		}
+		for k, want := range ref {
+			if got, ok := m.Get(k); !ok || got != want {
+				t.Fatalf("round %d: Get(%#x) = (%d, %v), want (%d, true)", round, k, got, ok, want)
+			}
+		}
+	}
+	// Exact-chunk path: a hint past the 8K-slot threshold.
+	var big Map[uint64]
+	big.InitIn(&a, 1<<13)
+	for i := uint64(1); i <= 10000; i++ {
+		big.Put(i, i*3)
+	}
+	for i := uint64(1); i <= 10000; i++ {
+		if v, ok := big.Get(i); !ok || v != i*3 {
+			t.Fatalf("big arena map: Get(%d) = (%d, %v)", i, v, ok)
+		}
+	}
+}

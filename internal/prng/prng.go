@@ -23,6 +23,13 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// Seeded returns a Source value seeded with seed — the allocation-free
+// form of New for callers that embed the source in a reused struct. The
+// stream is identical to New(seed)'s.
+func Seeded(seed uint64) Source {
+	return Source{state: seed}
+}
+
 // Uint64 returns the next 64-bit value in the stream.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9E3779B97F4A7C15

@@ -77,6 +77,14 @@ type epochArena struct {
 	// alloc is the one closure handed to every histogram (allocating a
 	// closure per histogram would itself cost an allocation per epoch).
 	alloc func(n int) []uint64
+	// sites slab-allocates the per-epoch branch-site tables, the last
+	// individually-allocated object class a profiling run created per
+	// epoch. siteHint tracks the largest site count an epoch has recorded
+	// so far: epochs execute the same static code, so pre-sizing new
+	// tables at the high-water mark makes in-place growth (which abandons
+	// slab space) rare after the first epoch.
+	sites    branchmodel.SiteArena
+	siteHint int
 }
 
 const (
@@ -124,6 +132,7 @@ func (a *epochArena) newEpoch() *Epoch {
 	a.epochs = a.epochs[1:]
 	e.Branch = &a.branches[0]
 	a.branches = a.branches[1:]
+	e.Branch.PresizeIn(&a.sites, a.siteHint)
 	e.PrivateRD, e.GlobalRD, e.InstrRD = &a.hists[0], &a.hists[1], &a.hists[2]
 	a.hists = a.hists[3:]
 	e.PrivateRD.SetLinearAllocator(a.alloc)
@@ -260,6 +269,12 @@ type exec struct {
 	// into one record so the hot path pays one table probe per access
 	// instead of separate last-access and last-write probes.
 	global hashmap.Map[globalRec]
+
+	// ilArena and dlArena slab-allocate the per-thread reuse tracking
+	// tables (one of each per thread), so thread setup costs two chunk
+	// allocations per exec instead of two tables per thread.
+	ilArena hashmap.Arena[uint64]
+	dlArena hashmap.Arena[[2]uint64]
 }
 
 // globalRec is the per-line global tracking record. writerP is the writing
@@ -296,15 +311,21 @@ func Run(p trace.Program, opt Options) (*Profile, error) {
 			lastILine: noILine,
 			created:   t == 0,
 			buf:       *buf,
-			profile:   &ThreadProfile{},
-			arena:     arena,
-			winSize:   opt.WindowSize,
-			// Pre-size the tracking tables near typical footprints (a few
-			// hundred code lines, a few thousand data lines per thread) to
-			// skip the early rehash-and-copy doublings.
-			ilast: *hashmap.New[uint64](512),
-			dlast: *hashmap.New[[2]uint64](4096),
+			// Epochs/Events grow once per synchronization event; starting
+			// at a real capacity skips the small append doublings.
+			profile: &ThreadProfile{
+				Epochs: make([]*Epoch, 0, 64),
+				Events: make([]trace.Event, 0, 64),
+			},
+			arena:   arena,
+			winSize: opt.WindowSize,
 		}
+		// Pre-size the tracking tables near typical footprints (a few
+		// hundred code lines, a few thousand data lines per thread) to
+		// skip the early rehash-and-copy doublings; the arenas batch all
+		// threads' tables into shared slabs.
+		ts.ilast.InitIn(&ex.ilArena, 512)
+		ts.dlast.InitIn(&ex.dlArena, 4096)
 		ts.epoch = arena.newEpoch()
 		for i := range ts.producers {
 			ts.producers[i] = -1
@@ -374,6 +395,9 @@ func (ts *threadState) closeEpoch(e trace.Event) {
 	ts.flushWindow()
 	ts.profile.Epochs = append(ts.profile.Epochs, ts.epoch)
 	ts.profile.Events = append(ts.profile.Events, e)
+	if n := ts.epoch.Branch.NumSites(); n > ts.arena.siteHint {
+		ts.arena.siteHint = n
+	}
 	ts.epoch = ts.arena.newEpoch()
 	ts.winPhase = 0
 }

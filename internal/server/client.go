@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"rppm/internal/arch"
+)
+
+// Client is a typed client for the `rppm serve` JSON API.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8344".
+	BaseURL string
+	// HTTPClient, when non-nil, overrides http.DefaultClient (timeouts,
+	// transports, test servers).
+	HTTPClient *http.Client
+}
+
+// NewClient creates a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// get issues a GET with query parameters and decodes the JSON response
+// into out. Non-2xx responses become errors carrying the server's message.
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
+	u := c.BaseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("rppm server: %s (HTTP %d)", apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("rppm server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// formatScale renders a scale so it parses back to the identical float64
+// (shortest round-trip formatting), preserving the server-side cache key
+// and bit-identical predictions. NaN/Inf are sent verbatim so the server
+// rejects them honestly.
+func formatScale(scale float64) string {
+	return strconv.FormatFloat(scale, 'g', -1, 64)
+}
+
+// Healthz checks the server is up.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.get(ctx, "/healthz", nil, nil)
+}
+
+// Predict requests one prediction.
+func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
+	q := url.Values{}
+	q.Set("bench", req.Bench)
+	if req.Config != "" {
+		q.Set("config", req.Config)
+	}
+	q.Set("seed", strconv.FormatUint(req.Seed, 10))
+	if req.Scale != 0 {
+		// Zero means "server default", mirroring the empty Config field.
+		q.Set("scale", formatScale(req.Scale))
+	}
+	if req.Baselines {
+		q.Set("baselines", "1")
+	}
+	if req.Simulate {
+		q.Set("simulate", "1")
+	}
+	var out PredictResponse
+	if err := c.get(ctx, "/v1/predict", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sweep requests a design-space sweep.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	q := url.Values{}
+	q.Set("bench", req.Bench)
+	if req.Configs > 0 {
+		q.Set("configs", strconv.Itoa(req.Configs))
+	}
+	q.Set("seed", strconv.FormatUint(req.Seed, 10))
+	if req.Scale != 0 {
+		q.Set("scale", formatScale(req.Scale))
+	}
+	var out SweepResponse
+	if err := c.get(ctx, "/v1/sweep", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Benchmarks lists the server's built-in suite.
+func (c *Client) Benchmarks(ctx context.Context) ([]BenchmarkInfo, error) {
+	var out []BenchmarkInfo
+	if err := c.get(ctx, "/v1/benchmarks", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Archs lists the server's design-space configurations.
+func (c *Client) Archs(ctx context.Context) ([]arch.Config, error) {
+	var out []arch.Config
+	if err := c.get(ctx, "/v1/archs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

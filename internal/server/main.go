@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// Main is the shared entry point behind `rppm-serve` and `rppm serve`: it
+// parses flags from args, starts the daemon, and drains gracefully on
+// SIGINT/SIGTERM. It returns a process exit code.
+func Main(args []string) int {
+	fs := flag.NewFlagSet("rppm-serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address")
+	parallel := fs.Int("parallel", 0, "max concurrent profile/simulate jobs (0 = GOMAXPROCS)")
+	maxBytes := fs.String("max-bytes", "0", "resident cache budget, e.g. 256MiB (0 = unbounded)")
+	traceDir := fs.String("trace-dir", "", "directory for persisted trace files (spill on capture, reload on miss; empty = memory only)")
+	maxInflight := fs.Int("max-inflight", DefaultMaxInflight, "admitted concurrent predict/sweep requests before 429")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	budget, err := ParseBytes(*maxBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rppm-serve:", err)
+		return 2
+	}
+	logger := log.New(os.Stderr, "rppm-serve: ", log.LstdFlags)
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "rppm-serve:", err)
+			return 1
+		}
+	}
+
+	srv := New(Config{
+		Workers:     *parallel,
+		MaxBytes:    budget,
+		TraceDir:    *traceDir,
+		MaxInflight: *maxInflight,
+		Log:         logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	logger.Printf("listening on %s (workers=%d, budget=%s, trace-dir=%q, max-inflight=%d)",
+		*addr, srv.eng.Workers(), FormatBytes(budget), *traceDir, *maxInflight)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil && err != http.ErrServerClosed {
+		logger.Printf("%v", err)
+		return 1
+	}
+	logger.Printf("drained, exiting")
+	return 0
+}
+
+// ParseBytes parses a byte size with an optional binary suffix: plain
+// digits, or KiB/MiB/GiB (and the lowercase/short forms k/m/g).
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	mult := int64(1)
+	for _, suf := range []struct {
+		text string
+		mult int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"kb", 1 << 10}, {"mb", 1 << 20}, {"gb", 1 << 30},
+		{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(t, suf.text) {
+			t = strings.TrimSuffix(t, suf.text)
+			mult = suf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 || n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("invalid byte size %q (want e.g. 268435456, 256MiB, 1GiB)", s)
+	}
+	return n * mult, nil
+}
+
+// FormatBytes renders a byte count with a binary suffix for logs.
+func FormatBytes(n int64) string {
+	switch {
+	case n <= 0:
+		return "unbounded"
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"rppm/internal/stats"
+)
+
+// handleMetrics renders the Prometheus text exposition format: engine
+// cache counters (hits, misses, coalesced requests, evictions, resident
+// bytes), admission state, and per-endpoint request totals and latency
+// histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	st := s.sess.Stats()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("rppm_cache_hits_total", "Completed-entry cache hits.", st.Hits)
+	counter("rppm_cache_misses_total", "Computations started (cache misses).", st.Misses)
+	counter("rppm_cache_coalesced_total", "Requests coalesced onto an in-flight computation.", st.Coalesced)
+	counter("rppm_cache_evictions_total", "Entries evicted under the memory budget.", st.Evictions)
+	counter("rppm_trace_loads_total", "Recordings reloaded from the trace dir instead of captured.", st.TraceLoads)
+	gauge("rppm_cache_bytes_resident", "Accounted bytes of resident cache entries.", st.BytesResident)
+	gauge("rppm_cache_entries", "Live cache entries, including in-flight ones.", int64(st.Entries))
+	gauge("rppm_cache_bytes_budget", "Configured cache memory budget (0 = unbounded).", s.cfg.MaxBytes)
+	gauge("rppm_inflight_requests", "Admitted heavy requests currently in flight.", s.inflight.Load())
+	gauge("rppm_inflight_limit", "Admission bound on concurrent heavy requests.", int64(cap(s.admit)))
+	counter("rppm_rejected_total", "Requests rejected with 429 at the admission bound.", s.rejected.Load())
+	gauge("rppm_engine_workers", "Engine worker-pool size.", int64(s.eng.Workers()))
+	gauge("rppm_uptime_seconds", "Seconds since server start.", int64(uptimeSeconds(s)))
+
+	fmt.Fprintf(&b, "# HELP rppm_requests_total Requests served per endpoint.\n# TYPE rppm_requests_total counter\n")
+	fmt.Fprintf(&b, "# HELP rppm_request_errors_total Requests answered with a 4xx/5xx per endpoint.\n# TYPE rppm_request_errors_total counter\n")
+	for _, e := range []struct {
+		name string
+		m    *endpointMetrics
+	}{
+		{"predict", &s.predictM},
+		{"sweep", &s.sweepM},
+		{"list", &s.listM},
+		{"healthz", &s.healthM},
+	} {
+		fmt.Fprintf(&b, "rppm_requests_total{endpoint=%q} %d\n", e.name, e.m.total.Load())
+		fmt.Fprintf(&b, "rppm_request_errors_total{endpoint=%q} %d\n", e.name, e.m.errors.Load())
+	}
+
+	fmt.Fprintf(&b, "# HELP rppm_request_seconds Request latency per endpoint.\n# TYPE rppm_request_seconds histogram\n")
+	for _, e := range []struct {
+		name string
+		m    *endpointMetrics
+	}{
+		{"predict", &s.predictM},
+		{"sweep", &s.sweepM},
+		{"list", &s.listM},
+		{"healthz", &s.healthM},
+	} {
+		writeLatency(&b, e.name, &e.m.latency)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func uptimeSeconds(s *Server) float64 {
+	return time.Since(s.started).Seconds()
+}
+
+func writeLatency(b *strings.Builder, endpoint string, h *stats.LatencyHistogram) {
+	h.Snapshot(func(upper float64, cum uint64) {
+		if upper < 0 {
+			fmt.Fprintf(b, "rppm_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", endpoint, cum)
+			return
+		}
+		fmt.Fprintf(b, "rppm_request_seconds_bucket{endpoint=%q,le=%q} %d\n", endpoint, trimFloat(upper), cum)
+	})
+	fmt.Fprintf(b, "rppm_request_seconds_sum{endpoint=%q} %g\n", endpoint, h.Sum().Seconds())
+	fmt.Fprintf(b, "rppm_request_seconds_count{endpoint=%q} %d\n", endpoint, h.Count())
+}
+
+// trimFloat renders a bucket bound compactly (Prometheus accepts any
+// float text).
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

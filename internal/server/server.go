@@ -1,0 +1,420 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"mime"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"rppm/internal/arch"
+	"rppm/internal/engine"
+	"rppm/internal/stats"
+	"rppm/internal/trace"
+	"rppm/internal/workload"
+)
+
+// Config configures a Server. The zero value serves with GOMAXPROCS
+// workers, an unbounded cache, no persistence and default admission.
+type Config struct {
+	// Workers bounds concurrent heavy jobs (profiling, simulation,
+	// prediction) in the engine pool; 0 = GOMAXPROCS.
+	Workers int
+	// MaxBytes is the resident-cache memory budget for recorded traces,
+	// profiles and results; 0 = unbounded. Entries held by in-flight
+	// requests are never evicted.
+	MaxBytes int64
+	// TraceDir, when non-empty, persists captured recordings as versioned
+	// trace files (trace.FileVersion) and reloads them on later cache
+	// misses — including across server restarts.
+	TraceDir string
+	// MaxInflight bounds admitted concurrent /v1/predict and /v1/sweep
+	// requests (executing plus queued on the engine pool); excess requests
+	// are rejected with 429. 0 selects DefaultMaxInflight.
+	MaxInflight int
+	// Progress, when non-nil, receives engine events (tests and logging).
+	Progress engine.ProgressFunc
+	// Log, when non-nil, receives operational messages (persistence
+	// failures, startup info). Nil discards them.
+	Log *log.Logger
+}
+
+// DefaultMaxInflight is the admission bound when Config.MaxInflight is 0:
+// enough to keep a wide pool busy with queued work, small enough that a
+// traffic spike degrades into fast 429s instead of an unbounded queue.
+const DefaultMaxInflight = 64
+
+// MaxSweepConfigs bounds the design-space size one /v1/sweep request may
+// ask for: each point costs a cycle-level simulation, so the parameter
+// must not be an amplification lever for a single admitted request.
+const MaxSweepConfigs = 256
+
+// endpointMetrics tracks one route's request counters and latencies.
+type endpointMetrics struct {
+	total   atomic.Uint64
+	errors  atomic.Uint64
+	latency stats.LatencyHistogram
+}
+
+// Server is the resident prediction service. Create with New, expose via
+// Handler, and drive the lifecycle with http.Server (see Main for the
+// canonical wiring with graceful drain).
+type Server struct {
+	cfg  Config
+	eng  *engine.Engine
+	sess *engine.Session
+	mux  *http.ServeMux
+	logf func(format string, args ...any)
+
+	admit    chan struct{}
+	inflight atomic.Int64
+	rejected atomic.Uint64
+	started  time.Time
+
+	predictM, sweepM, listM, healthM endpointMetrics
+}
+
+// New creates a server with a fresh engine and resident session.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	s := &Server{
+		cfg:     cfg,
+		eng:     engine.New(engine.Options{Workers: cfg.Workers, Progress: cfg.Progress}),
+		admit:   make(chan struct{}, cfg.MaxInflight),
+		started: time.Now(),
+	}
+	s.logf = func(string, ...any) {}
+	if cfg.Log != nil {
+		s.logf = cfg.Log.Printf
+	}
+	opts := engine.SessionOptions{MaxBytes: cfg.MaxBytes}
+	if cfg.TraceDir != "" {
+		opts.LoadRecorded = s.loadTrace
+		opts.StoreRecorded = s.storeTrace
+	}
+	s.sess = s.eng.NewSessionWith(opts)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.instrument(&s.healthM, s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/benchmarks", s.instrument(&s.listM, s.handleBenchmarks))
+	s.mux.HandleFunc("/v1/archs", s.instrument(&s.listM, s.handleArchs))
+	s.mux.HandleFunc("/v1/predict", s.admitHeavy(&s.predictM, s.handlePredict))
+	s.mux.HandleFunc("/v1/sweep", s.admitHeavy(&s.sweepM, s.handleSweep))
+	return s
+}
+
+// Session exposes the resident session (for tests and for embedding the
+// server alongside library use of the same cache).
+func (s *Server) Session() *engine.Session { return s.sess }
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// --- trace persistence -------------------------------------------------
+
+// tracePath encodes a cache key as a stable filename: benchmark, seed and
+// the exact float bits of scale, so distinct keys can never collide and a
+// reloaded file maps back to precisely the key that wrote it.
+func (s *Server) tracePath(k engine.Key) string {
+	name := fmt.Sprintf("%s_%d_%016x.rpt", k.Bench, k.Seed, math.Float64bits(k.Scale))
+	return filepath.Join(s.cfg.TraceDir, name)
+}
+
+func (s *Server) loadTrace(k engine.Key) (*trace.Recorded, bool) {
+	rec, err := trace.ReadFile(s.tracePath(k))
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.logf("trace reload %s: %v", s.tracePath(k), err)
+		}
+		return nil, false
+	}
+	if rec.Name() != k.Bench {
+		s.logf("trace reload %s: names %q, ignoring", s.tracePath(k), rec.Name())
+		return nil, false
+	}
+	return rec, true
+}
+
+func (s *Server) storeTrace(k engine.Key, rec *trace.Recorded) {
+	if err := rec.WriteFile(s.tracePath(k)); err != nil {
+		// Persistence is an optimization: serving continues from memory.
+		s.logf("trace spill %s: %v", s.tracePath(k), err)
+	}
+}
+
+// --- request plumbing ---------------------------------------------------
+
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeJSON encodes v with a trailing newline (curl-friendly).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// statusRecorder captures the response code for the error counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency tracking.
+func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		m.total.Add(1)
+		if rec.code >= 400 {
+			m.errors.Add(1)
+		}
+		m.latency.Observe(time.Since(start))
+	}
+}
+
+// admitHeavy is instrument plus bounded admission: when MaxInflight
+// requests are already admitted, the request is rejected immediately with
+// 429 and a Retry-After hint, so overload degrades into cheap rejections
+// instead of an unbounded queue (the engine pool already bounds the work
+// actually executing; this bounds the line in front of it).
+func (s *Server) admitHeavy(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrument(m, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.admit <- struct{}{}:
+			s.inflight.Add(1)
+			defer func() {
+				s.inflight.Add(-1)
+				<-s.admit
+			}()
+			h(w, r)
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, &httpError{code: http.StatusTooManyRequests,
+				msg: fmt.Sprintf("server at capacity (%d requests in flight)", cap(s.admit))})
+		}
+	})
+}
+
+// decodeRequest fills req from the URL query (GET) or a JSON body (POST
+// with application/json), after loading defaults into req.
+func decodeRequest(r *http.Request, req any, fromQuery func(get func(string) string) error) error {
+	if r.Method == http.MethodPost {
+		ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+		if ct == "application/json" {
+			dec := json.NewDecoder(r.Body)
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(req); err != nil {
+				return badRequest("invalid JSON body: %v", err)
+			}
+			return nil
+		}
+		return badRequest("POST requires Content-Type: application/json")
+	}
+	q := r.URL.Query()
+	return fromQuery(q.Get)
+}
+
+func parseUint(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func parseFloat(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseBool(s string) bool {
+	switch strings.ToLower(s) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// --- endpoints ----------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"benchmarks":     len(workload.Suite()),
+		"workers":        s.eng.Workers(),
+	})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListBenchmarks())
+}
+
+func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, arch.DesignSpace())
+}
+
+// parsePredict decodes and validates a predict request.
+func parsePredict(r *http.Request) (PredictRequest, workload.Benchmark, arch.Config, error) {
+	req := PredictRequest{Config: "base", Seed: 1, Scale: 0.3}
+	err := decodeRequest(r, &req, func(get func(string) string) error {
+		req.Bench = get("bench")
+		if c := get("config"); c != "" {
+			req.Config = c
+		}
+		var err error
+		if req.Seed, err = parseUint(get("seed"), req.Seed); err != nil {
+			return badRequest("bad seed: %v", err)
+		}
+		if req.Scale, err = parseFloat(get("scale"), req.Scale); err != nil {
+			return badRequest("bad scale: %v", err)
+		}
+		req.Baselines = parseBool(get("baselines"))
+		req.Simulate = parseBool(get("simulate"))
+		return nil
+	})
+	if err != nil {
+		return req, workload.Benchmark{}, arch.Config{}, err
+	}
+	if req.Bench == "" {
+		return req, workload.Benchmark{}, arch.Config{}, badRequest("missing bench parameter (see /v1/benchmarks)")
+	}
+	if !(req.Scale > 0) || req.Scale > 1 {
+		return req, workload.Benchmark{}, arch.Config{}, badRequest("scale must be in (0, 1], got %v", req.Scale)
+	}
+	bm, err := workload.ByName(req.Bench)
+	if err != nil {
+		return req, workload.Benchmark{}, arch.Config{}, badRequest("%v", err)
+	}
+	cfg, err := configByName(req.Config)
+	if err != nil {
+		return req, workload.Benchmark{}, arch.Config{}, badRequest("%v", err)
+	}
+	return req, bm, cfg, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	req, bm, cfg, err := parsePredict(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := BuildPredict(r.Context(), s.sess, bm, cfg, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req := SweepRequest{Configs: 16, Seed: 1, Scale: 0.3}
+	err := decodeRequest(r, &req, func(get func(string) string) error {
+		req.Bench = get("bench")
+		var err error
+		if c := get("configs"); c != "" {
+			if req.Configs, err = strconv.Atoi(c); err != nil {
+				return badRequest("bad configs: %v", err)
+			}
+		}
+		if req.Seed, err = parseUint(get("seed"), req.Seed); err != nil {
+			return badRequest("bad seed: %v", err)
+		}
+		if req.Scale, err = parseFloat(get("scale"), req.Scale); err != nil {
+			return badRequest("bad scale: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	switch {
+	case req.Bench == "":
+		err = badRequest("missing bench parameter (see /v1/benchmarks)")
+	case !(req.Scale > 0) || req.Scale > 1:
+		err = badRequest("scale must be in (0, 1], got %v", req.Scale)
+	case req.Configs < 1:
+		err = badRequest("configs must be at least 1, got %d", req.Configs)
+	case req.Configs > MaxSweepConfigs:
+		// The CLI's -configs is operator-controlled; this is a network
+		// surface, and each config is a full cycle-level simulation.
+		err = badRequest("configs must be at most %d, got %d", MaxSweepConfigs, req.Configs)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	bm, err := workload.ByName(req.Bench)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	resp, err := BuildSweep(r.Context(), s.sess, bm, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Shutdown-aware serving: ListenAndServe runs the server at addr until ctx
+// is canceled, then drains in-flight requests (graceful SIGTERM handling
+// when ctx comes from signal.NotifyContext).
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("draining: waiting for in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	<-errc // http.ErrServerClosed from the serve goroutine
+	return nil
+}

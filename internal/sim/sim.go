@@ -26,6 +26,7 @@ package sim
 
 import (
 	"fmt"
+	"unsafe"
 
 	"rppm/internal/arch"
 	"rppm/internal/bpred"
@@ -52,6 +53,17 @@ type Result struct {
 	Cycles  float64 // program execution time in cycles
 	Seconds float64
 	Threads []ThreadResult
+}
+
+// SizeBytes returns the resident size of the result, for memory-budget
+// accounting in the engine's cache.
+func (r *Result) SizeBytes() int64 {
+	n := int64(unsafe.Sizeof(*r))
+	for i := range r.Threads {
+		n += int64(unsafe.Sizeof(r.Threads[i]))
+		n += 16 * int64(len(r.Threads[i].ActiveIntervals))
+	}
+	return n
 }
 
 // TotalInstr returns the total simulated instruction count.

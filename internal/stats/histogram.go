@@ -15,6 +15,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync/atomic"
+	"unsafe"
 )
 
 // linearCutoff is the largest value tracked with an exact counter. Values
@@ -199,6 +200,22 @@ func (h *Histogram) Merge(other *Histogram) {
 	for i, c := range other.log {
 		h.log[i] += c
 	}
+}
+
+// SizeBytes returns the resident size of the histogram's count arrays plus
+// the struct itself, for memory-budget accounting of retained profiles. The
+// arrays may live in a shared slab (see SetLinearAllocator); they are still
+// charged here, since the slab is retained exactly as long as its
+// histograms are. The lazily-built suffix cache is charged at its eventual
+// size whether or not it exists yet — model evaluation builds it after the
+// profile is cached, and accounting must not depend on measurement timing.
+func (h *Histogram) SizeBytes() int64 {
+	n := int64(unsafe.Sizeof(*h))
+	n += 8 * int64(len(h.linear)+len(h.log))
+	if h.linear != nil {
+		n += 8 * (linearCutoff + 1) // suffix cache, built on first CountAbove
+	}
+	return n
 }
 
 // Count returns the total number of samples, including Infinite ones.

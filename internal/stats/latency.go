@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyHistogram is a fixed-layout, lock-free histogram of durations for
+// the serving layer's per-endpoint latency tracking. Buckets are powers of
+// two of microseconds (1 µs up to ~34 s, then an overflow bucket), which is
+// plenty of resolution for request latencies while keeping Observe to a
+// handful of instructions on the request hot path.
+//
+// All methods are safe for concurrent use; Observe is wait-free.
+type LatencyHistogram struct {
+	buckets [latencyBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+}
+
+// latencyBuckets: bucket b counts durations in [2^b, 2^(b+1)) microseconds
+// for b < latencyBuckets-1; the last bucket is the overflow (>= ~34 s).
+const latencyBuckets = 26
+
+// latencyBucket maps a duration to its bucket index.
+func latencyBucket(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us == 0 {
+		return 0
+	}
+	b := bits.Len64(us) - 1
+	if b >= latencyBuckets {
+		return latencyBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[latencyBucket(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *LatencyHistogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *LatencyHistogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Mean returns the mean observed duration (0 with no observations).
+func (h *LatencyHistogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Quantile returns an approximate q-quantile (q in [0, 1]) from the bucket
+// counts, using the bucket's upper bound — the same convention as a
+// Prometheus histogram_quantile over le-buckets.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := q * float64(n)
+	acc := 0.0
+	for b := 0; b < latencyBuckets; b++ {
+		acc += float64(h.buckets[b].Load())
+		if acc >= target {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(latencyBuckets - 1)
+}
+
+// bucketUpper is the exclusive upper bound of bucket b.
+func bucketUpper(b int) time.Duration {
+	return time.Duration(uint64(1)<<uint(b+1)) * time.Microsecond
+}
+
+// Snapshot calls fn for every bucket with its inclusive upper bound in
+// seconds and the cumulative count up to and including it — exactly the
+// `le`/cumulative convention of a Prometheus histogram series. The final
+// call is the +Inf bucket (upper < 0) carrying the total count.
+func (h *LatencyHistogram) Snapshot(fn func(upperSeconds float64, cumulative uint64)) {
+	var cum uint64
+	for b := 0; b < latencyBuckets-1; b++ {
+		cum += h.buckets[b].Load()
+		fn(bucketUpper(b).Seconds(), cum)
+	}
+	cum += h.buckets[latencyBuckets-1].Load()
+	fn(-1, cum)
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistogramBasics(t *testing.T) {
+	var h LatencyHistogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	h.Observe(3 * time.Microsecond)   // bucket [2µs, 4µs)
+	h.Observe(100 * time.Microsecond) // bucket [64µs, 128µs)
+	h.Observe(-time.Second)           // clamped to 0 → first bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if got := h.Sum(); got != 103*time.Microsecond {
+		t.Fatalf("sum = %v, want 103µs", got)
+	}
+	// Median upper bound: the 2nd of 3 samples sits in the [2µs, 4µs)
+	// bucket, whose upper bound is 4µs.
+	if got := h.Quantile(0.5); got != 4*time.Microsecond {
+		t.Fatalf("p50 = %v, want 4µs", got)
+	}
+	if got := h.Quantile(1.0); got != 128*time.Microsecond {
+		t.Fatalf("p100 = %v, want 128µs", got)
+	}
+}
+
+func TestLatencyHistogramSnapshotCumulative(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(1 * time.Microsecond)
+	h.Observe(1 * time.Hour) // overflow bucket
+	var uppers []float64
+	var cums []uint64
+	h.Snapshot(func(upper float64, cum uint64) {
+		uppers = append(uppers, upper)
+		cums = append(cums, cum)
+	})
+	if len(uppers) != latencyBuckets {
+		t.Fatalf("snapshot emitted %d buckets, want %d", len(uppers), latencyBuckets)
+	}
+	if uppers[len(uppers)-1] >= 0 {
+		t.Error("last bucket is not +Inf")
+	}
+	if cums[len(cums)-1] != 2 {
+		t.Errorf("+Inf cumulative = %d, want total 2", cums[len(cums)-1])
+	}
+	for i := 1; i < len(cums); i++ {
+		if cums[i] < cums[i-1] {
+			t.Fatalf("cumulative counts decreased at bucket %d", i)
+		}
+		if uppers[i] >= 0 && uppers[i] <= uppers[i-1] {
+			t.Fatalf("bucket bounds not increasing at %d", i)
+		}
+	}
+}
+
+// TestLatencyHistogramConcurrent hammers Observe from many goroutines; run
+// under -race this guards the wait-free contract.
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	const writers, perWriter = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+				if i%100 == 0 {
+					h.Quantile(0.99)
+					h.Snapshot(func(float64, uint64) {})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != writers*perWriter {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*perWriter)
+	}
+}

@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"unsafe"
+)
+
+// This file implements the persistence format for Recorded traces, so a
+// long-lived service can spill captured recordings to disk and reload them
+// across restarts instead of re-paying the generation pass.
+//
+// # Format (version 1)
+//
+// All integers are little-endian. The payload is the packed word streams
+// exactly as they live in memory, so writing is a straight copy and a
+// reloaded recording replays bit-identically to the in-memory original
+// (guarded by a differential round-trip test).
+//
+//	[8]byte  magic "RPPMTRCE"
+//	uint32   format version (currently 1)
+//	uint32   reserved flags (zero)
+//	uint16   name length, followed by the name bytes
+//	uint32   thread count
+//	uint64   total instructions
+//	uint64   total sync events
+//	uint64   total data memory references
+//	uint64×T per-thread packed word counts
+//	uint64×W the packed word streams, thread by thread
+//	uint32   IEEE CRC-32 over everything above
+const (
+	// FileVersion is the trace file format version this package writes.
+	// Readers reject other versions rather than guessing.
+	FileVersion = 1
+
+	fileMagic = "RPPMTRCE"
+
+	// maxFileThreads and maxFileName bound the header fields a reader will
+	// accept, so a corrupt or adversarial header cannot drive allocations.
+	maxFileThreads = 1 << 20
+	maxFileName    = 1 << 12
+)
+
+// wordChunk is the number of packed words converted per buffered copy.
+const wordChunk = 4096
+
+// SizeBytes returns the resident in-memory size of the recording: the
+// packed word streams plus fixed bookkeeping. It is the unit the engine's
+// memory-budgeted cache accounts recordings at, and within a few percent
+// of the on-disk file size (which adds only the header and checksum).
+func (r *Recorded) SizeBytes() int64 {
+	n := int64(unsafe.Sizeof(*r)) + int64(len(r.name))
+	n += int64(len(r.threads)) * int64(unsafe.Sizeof([]uint64(nil)))
+	n += 8 * int64(r.Words())
+	return n
+}
+
+// crcWriter sums everything written through it so the checksum never needs
+// a second pass over the streams.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the recording in the versioned file format. It
+// implements io.WriterTo.
+func (r *Recorded) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &crcWriter{w: bw}
+
+	if len(r.name) > maxFileName {
+		return 0, fmt.Errorf("trace: name %q too long to serialize", r.name)
+	}
+	var hdr [8]byte
+	if _, err := io.WriteString(cw, fileMagic); err != nil {
+		return cw.n, err
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], FileVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], 0)
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+	binary.LittleEndian.PutUint16(hdr[0:2], uint16(len(r.name)))
+	if _, err := cw.Write(hdr[:2]); err != nil {
+		return cw.n, err
+	}
+	if _, err := io.WriteString(cw, r.name); err != nil {
+		return cw.n, err
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(r.threads)))
+	if _, err := cw.Write(hdr[:4]); err != nil {
+		return cw.n, err
+	}
+	for _, v := range [3]uint64{r.instrs, r.syncs, r.memRefs} {
+		binary.LittleEndian.PutUint64(hdr[:], v)
+		if _, err := cw.Write(hdr[:]); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, t := range r.threads {
+		binary.LittleEndian.PutUint64(hdr[:], uint64(len(t)))
+		if _, err := cw.Write(hdr[:]); err != nil {
+			return cw.n, err
+		}
+	}
+
+	var buf [8 * wordChunk]byte
+	for _, t := range r.threads {
+		for len(t) > 0 {
+			n := len(t)
+			if n > wordChunk {
+				n = wordChunk
+			}
+			for i, w := range t[:n] {
+				binary.LittleEndian.PutUint64(buf[8*i:], w)
+			}
+			if _, err := cw.Write(buf[:8*n]); err != nil {
+				return cw.n, err
+			}
+			t = t[n:]
+		}
+	}
+
+	binary.LittleEndian.PutUint32(hdr[0:4], cw.crc)
+	if _, err := cw.Write(hdr[:4]); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// crcReader mirrors crcWriter for validation on load.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// ReadRecorded deserializes a recording written by WriteTo, validating the
+// magic, the format version and the trailing checksum. The returned
+// recording replays bit-identically to the one that was written.
+func ReadRecorded(r io.Reader) (*Recorded, error) {
+	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<16)}
+
+	var hdr [8]byte
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(hdr[:]) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a trace file)", hdr[:])
+	}
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != FileVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (have %d)", v, FileVersion)
+	}
+	if _, err := io.ReadFull(cr, hdr[:2]); err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(hdr[0:2]))
+	if nameLen > maxFileName {
+		return nil, fmt.Errorf("trace: name length %d exceeds limit", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(cr, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	if _, err := io.ReadFull(cr, hdr[:4]); err != nil {
+		return nil, fmt.Errorf("trace: reading thread count: %w", err)
+	}
+	nThreads := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	if nThreads > maxFileThreads {
+		return nil, fmt.Errorf("trace: thread count %d exceeds limit", nThreads)
+	}
+	rec := &Recorded{name: string(name), threads: make([][]uint64, nThreads)}
+	for _, p := range [3]*uint64{&rec.instrs, &rec.syncs, &rec.memRefs} {
+		if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading counters: %w", err)
+		}
+		*p = binary.LittleEndian.Uint64(hdr[:])
+	}
+	counts := make([]uint64, nThreads)
+	for i := range counts {
+		if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading word counts: %w", err)
+		}
+		counts[i] = binary.LittleEndian.Uint64(hdr[:])
+		if counts[i] > math.MaxInt64/8 {
+			return nil, fmt.Errorf("trace: thread %d word count %d exceeds limit", i, counts[i])
+		}
+	}
+
+	// Word arrays grow as data actually arrives rather than being sized
+	// from the (untrusted) header counts up front: a corrupt count field
+	// can then cost at most the real file size in memory before ReadFull
+	// hits EOF and reports truncation, never a giant speculative make.
+	var buf [8 * wordChunk]byte
+	for i, c := range counts {
+		capHint := c
+		if capHint > 1<<20 {
+			capHint = 1 << 20
+		}
+		words := make([]uint64, 0, capHint)
+		for uint64(len(words)) < c {
+			n := c - uint64(len(words))
+			if n > wordChunk {
+				n = wordChunk
+			}
+			if _, err := io.ReadFull(cr, buf[:8*n]); err != nil {
+				return nil, fmt.Errorf("trace: reading thread %d words: %w", i, err)
+			}
+			for j := uint64(0); j < n; j++ {
+				words = append(words, binary.LittleEndian.Uint64(buf[8*j:]))
+			}
+		}
+		rec.threads[i] = words
+	}
+
+	sum := cr.crc
+	if _, err := io.ReadFull(cr, hdr[:4]); err != nil {
+		return nil, fmt.Errorf("trace: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != sum {
+		return nil, fmt.Errorf("trace: checksum mismatch (file %08x, computed %08x)", got, sum)
+	}
+	return rec, nil
+}
+
+// WriteFile atomically persists the recording at path: it writes to a
+// temporary file in the same directory and renames it into place, so
+// concurrent readers only ever observe complete traces.
+func (r *Recorded) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".rppmtrc-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := r.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads a recording persisted with WriteFile.
+func ReadFile(path string) (*Recorded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rec, err := ReadRecorded(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}

@@ -105,11 +105,11 @@ func TestRecordReplayDifferential(t *testing.T) {
 	}
 }
 
-// TestRecordReplayEdgeCases covers hand-built streams that exercise every
-// escape path of the encoding: absolute PC jumps (tiny, huge, backward),
-// cross-region address hops beyond the delta range, unusual field
-// combinations, and extreme sync arguments.
-func TestRecordReplayEdgeCases(t *testing.T) {
+// edgeCaseProgram is a hand-built stream that exercises every escape path
+// of the encoding: absolute PC jumps (tiny, huge, backward), cross-region
+// address hops beyond the delta range, unusual field combinations, and
+// extreme sync arguments. Shared with the persistence round-trip tests.
+func edgeCaseProgram() trace.Program {
 	instr := func(in trace.Instr) trace.Item { return trace.InstrItem(in) }
 	items := []trace.Item{
 		// PC chain warm-up from zero, then a regular run.
@@ -141,8 +141,12 @@ func TestRecordReplayEdgeCases(t *testing.T) {
 		trace.SyncItem(trace.Event{Kind: trace.SyncCondWaitMarker, Obj: 9, Arg: 1 << 30}),
 		trace.SyncItem(trace.Event{Kind: trace.SyncThreadExit}),
 	}
-	p := &trace.SliceProgram{ProgName: "edges", Threads: [][]trace.Item{items}}
-	checkRecorded(t, p)
+	return &trace.SliceProgram{ProgName: "edges", Threads: [][]trace.Item{items}}
+}
+
+// TestRecordReplayEdgeCases replays edgeCaseProgram through the recorder.
+func TestRecordReplayEdgeCases(t *testing.T) {
+	checkRecorded(t, edgeCaseProgram())
 }
 
 // TestRecordRejectsUnencodable: streams outside the architectural register

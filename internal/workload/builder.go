@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"unsafe"
 
 	"rppm/internal/prng"
 	"rppm/internal/trace"
@@ -30,6 +31,18 @@ func (p *Program) Name() string { return p.name }
 // NumThreads implements trace.Program.
 func (p *Program) NumThreads() int { return len(p.threads) }
 
+// SizeBytes returns the resident size of the generative program (its
+// segment lists), for memory-budget accounting. Programs are compact
+// descriptions — kilobytes, versus megabytes for their recorded traces.
+func (p *Program) SizeBytes() int64 {
+	n := int64(unsafe.Sizeof(*p)) + int64(len(p.name))
+	n += int64(len(p.threads)) * int64(unsafe.Sizeof([]segment(nil)))
+	for _, t := range p.threads {
+		n += int64(len(t)) * int64(unsafe.Sizeof(segment{}))
+	}
+	return n
+}
+
 // Thread implements trace.Program; each call returns a fresh stream.
 func (p *Program) Thread(tid int) trace.ThreadStream {
 	return &threadStream{tid: tid, segs: p.threads[tid]}
@@ -46,12 +59,15 @@ func (p *Program) TotalInstructions() int {
 	return total
 }
 
-// threadStream replays a thread's segments.
+// threadStream replays a thread's segments. The one generator struct is
+// re-initialized in place per compute segment (gen points at genv while a
+// block is active), so driving a stream costs no allocation per block.
 type threadStream struct {
 	tid  int
 	segs []segment
 	idx  int
 	gen  *blockGen
+	genv blockGen
 }
 
 // NextBatch implements trace.BatchStream: it fills buf with generated
@@ -78,7 +94,8 @@ func (s *threadStream) NextBatch(buf []trace.Item) int {
 			continue
 		}
 		if seg.n > 0 {
-			s.gen = newBlockGen(seg.block, s.tid, seg.n, seg.seed)
+			s.genv.init(seg.block, s.tid, seg.n, seg.seed)
+			s.gen = &s.genv
 		}
 	}
 	return n
@@ -102,7 +119,8 @@ func (s *threadStream) Next() (trace.Item, bool) {
 			return trace.SyncItem(seg.ev), true
 		}
 		if seg.n > 0 {
-			s.gen = newBlockGen(seg.block, s.tid, seg.n, seg.seed)
+			s.genv.init(seg.block, s.tid, seg.n, seg.seed)
+			s.gen = &s.genv
 		}
 	}
 }

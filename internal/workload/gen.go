@@ -39,8 +39,15 @@ type Mix struct {
 	Load, Store, Branch    float64
 }
 
+// weightsArr returns the class-indexed weight vector by value — the
+// allocation-free form used on the per-block-instance path.
+func (m Mix) weightsArr() [trace.NumClasses]float64 {
+	return [trace.NumClasses]float64{m.IntALU, m.IntMul, m.IntDiv, m.FPAdd, m.FPMul, m.FPDiv, m.Load, m.Store, m.Branch}
+}
+
 func (m Mix) weights() []float64 {
-	return []float64{m.IntALU, m.IntMul, m.IntDiv, m.FPAdd, m.FPMul, m.FPDiv, m.Load, m.Store, m.Branch}
+	w := m.weightsArr()
+	return w[:]
 }
 
 // MixInt returns a typical integer-dominated mix.
@@ -117,7 +124,7 @@ func (b Block) withDefaults() Block {
 	if b.BranchBias <= 0 {
 		b.BranchBias = 0.95
 	}
-	w := b.Mix.weights()
+	w := b.Mix.weightsArr()
 	total := 0.0
 	for _, x := range w {
 		total += x
@@ -130,9 +137,8 @@ func (b Block) withDefaults() Block {
 
 // blockGen generates the instruction stream of one Block instance.
 type blockGen struct {
-	b       Block
-	rng     *prng.Source
-	weights []float64
+	b   Block
+	rng prng.Source
 
 	// Hot-loop constants hoisted out of next(): the integer-compare class
 	// sampler, the log-free dependence-distance sampler, the current
@@ -162,18 +168,27 @@ type blockGen struct {
 
 // newBlockGen instantiates a generator. n is the scaled instruction count.
 func newBlockGen(b Block, tid, n int, seed uint64) *blockGen {
+	g := new(blockGen)
+	g.init(b, tid, n, seed)
+	return g
+}
+
+// init resets g in place for a new block instance: threadStream reuses one
+// generator struct across all its compute segments, so driving a long
+// program allocates nothing per block. The generated stream is identical
+// to a freshly allocated generator's.
+func (g *blockGen) init(b Block, tid, n int, seed uint64) {
 	b = b.withDefaults()
-	g := &blockGen{
+	*g = blockGen{
 		b:           b,
-		rng:         prng.New(seed),
-		weights:     b.Mix.weights(),
+		rng:         prng.Seeded(seed),
 		tid:         tid,
 		remaining:   n,
 		codeInstrs:  b.CodeLines * (lineBytes / instrBytes),
 		codeRegion:  codeBase + uint64(b.CodeID)*codeSpan,
 		lastLoadDst: -1,
 	}
-	g.classTable = classTableFor(g.weights)
+	g.classTable = classTableFor(b.Mix.weightsArr())
 	g.depTable = depTableFor(b.DepMean)
 	g.sharedLines, g.sharedMask = linesOf(b.SharedBytes)
 	g.privLines, g.privMask = linesOf(b.PrivateBytes)
@@ -191,7 +206,6 @@ func newBlockGen(b Block, tid, n int, seed uint64) *blockGen {
 	g.pcIndex = int(seed>>17) % g.codeInstrs
 	g.lastPriv = g.privBase()
 	g.lastShared = sharedBase
-	return g
 }
 
 func (g *blockGen) privBase() uint64 {
@@ -226,13 +240,13 @@ func takenTableFor(b Block) []float64 {
 // mirroring depTables.
 var classTables sync.Map // [NumClasses]float64 -> *prng.PickTable
 
-func classTableFor(weights []float64) *prng.PickTable {
-	var key [trace.NumClasses]float64
-	copy(key[:], weights)
+func classTableFor(key [trace.NumClasses]float64) *prng.PickTable {
 	if t, ok := classTables.Load(key); ok {
 		return t.(*prng.PickTable)
 	}
-	t := prng.NewPickTable(weights)
+	// Construction runs once per distinct mix; the slice may escape into
+	// the table, so it is taken from the (copied) key parameter.
+	t := prng.NewPickTable(key[:])
 	actual, _ := classTables.LoadOrStore(key, t)
 	return actual.(*prng.PickTable)
 }
@@ -354,7 +368,7 @@ func (g *blockGen) emit(in *trace.Instr) {
 	in.Addr = 0
 	in.BranchID = 0
 	in.Taken = false
-	cls := trace.Class(g.classTable.Sample(g.rng))
+	cls := trace.Class(g.classTable.Sample(&g.rng))
 	in.Class = cls
 
 	// Register dependences: instruction i writes register i mod NumRegs, so
@@ -363,7 +377,7 @@ func (g *blockGen) emit(in *trace.Instr) {
 	// count-d non-negative, so the mod reduces to a mask.
 	const regMask = trace.NumRegs - 1
 	in.Dst = int8(uint(g.count) & regMask)
-	d1 := g.depTable.Sample(g.rng)
+	d1 := g.depTable.Sample(&g.rng)
 	if d1 > g.count {
 		d1 = g.count
 	}
@@ -376,7 +390,7 @@ func (g *blockGen) emit(in *trace.Instr) {
 		in.Src1 = -1
 	}
 	if g.rng.BoolT(g.halfT) {
-		d2 := g.depTable.Sample(g.rng)
+		d2 := g.depTable.Sample(&g.rng)
 		if d2 > g.count {
 			d2 = g.count
 		}

@@ -31,6 +31,7 @@ import (
 	"rppm/internal/engine"
 	"rppm/internal/interval"
 	"rppm/internal/profiler"
+	"rppm/internal/server"
 	"rppm/internal/sim"
 	"rppm/internal/trace"
 	"rppm/internal/workload"
@@ -79,7 +80,49 @@ type (
 	// it once with Record, replay it any number of times (concurrently)
 	// for a fraction of the generation cost. It implements Program.
 	RecordedProgram = trace.Recorded
+
+	// SessionOptions configure a session's resident cache: a memory
+	// budget (size-accounted LRU over traces, profiles and results, with
+	// in-flight pinning) and trace persistence hooks. Used via
+	// Engine.NewSessionWith; the zero value is the classic unbounded
+	// session.
+	SessionOptions = engine.SessionOptions
+	// SessionStats is a snapshot of a session's cache counters (hits,
+	// misses, coalesced requests, evictions, resident bytes).
+	SessionStats = engine.Stats
+
+	// Client is a typed client for the `rppm serve` HTTP/JSON API
+	// (endpoints /v1/predict, /v1/sweep, /v1/benchmarks, /v1/archs,
+	// /healthz). Served predictions are bit-identical to in-process ones.
+	Client = server.Client
+	// PredictRequest selects one served prediction (benchmark, config,
+	// seed, scale, optional MAIN/CRIT baselines and simulator reference).
+	PredictRequest = server.PredictRequest
+	// PredictResponse is the served prediction; float fields round-trip
+	// bit-exactly through JSON.
+	PredictResponse = server.PredictResponse
+	// SweepRequest requests a served design-space sweep.
+	SweepRequest = server.SweepRequest
+	// SweepResponse is the served sweep outcome in SweepSpace order.
+	SweepResponse = server.SweepResponse
+	// SweepPoint is one design point of a sweep response.
+	SweepPoint = server.SweepPoint
+	// BenchmarkInfo describes one built-in benchmark as listed by the
+	// /v1/benchmarks endpoint.
+	BenchmarkInfo = server.BenchmarkInfo
 )
+
+// NewClient creates a client for an `rppm serve` daemon at baseURL, e.g.
+// "http://127.0.0.1:8344":
+//
+//	c := rppm.NewClient("http://127.0.0.1:8344")
+//	resp, err := c.Predict(ctx, rppm.PredictRequest{
+//		Bench: "kmeans", Config: "base", Seed: 1, Scale: 0.3,
+//	})
+//
+// The server keeps recorded traces and profiles resident, so repeated
+// predictions cost a cache lookup plus JSON encoding.
+func NewClient(baseURL string) *Client { return server.NewClient(baseURL) }
 
 // NewEngine creates a concurrent experiment engine. The zero options bound
 // parallelism at GOMAXPROCS. Create a Session from it to get the shared

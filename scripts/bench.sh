@@ -7,18 +7,21 @@
 # Usage:
 #   scripts/bench.sh [N] [micro-benchtime] [macro-benchtime]
 #
-#   N                suffix of the output file BENCH_<N>.json (default: 3)
+#   N                suffix of the output file BENCH_<N>.json (default: 4)
 #   micro-benchtime  -benchtime for the micro-benchmarks (default: 1s)
 #   macro-benchtime  -benchtime for the experiment benchmarks (default: 1x)
 #
 # The micro-benchmarks (profiler, simulator, caches, hashmap, trace
-# record/replay) are the per-instruction hot-path gauges; the root-level
-# benchmarks regenerate the paper's tables and figures end to end and run
-# the 16-config design-space sweep against its regeneration baseline.
+# record/replay, server warm/cold request throughput) are the hot-path
+# gauges; the root-level benchmarks regenerate the paper's tables and
+# figures end to end and run the 16-config design-space sweep against its
+# regeneration baseline. The ServePredict warm/cold pair reports req/s:
+# warm is a resident-cache hit plus JSON encode, cold pays the full
+# record+profile+predict pipeline — the ratio is the value of `rppm serve`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-3}"
+N="${1:-4}"
 MICRO_TIME="${2:-1s}"
 MACRO_TIME="${3:-1x}"
 OUT="BENCH_${N}.json"
@@ -26,9 +29,9 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 echo "== micro-benchmarks (-benchtime $MICRO_TIME)" >&2
-go test -run XXX -bench 'BenchmarkProfilerInstr|BenchmarkSimStep|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkUpsert|BenchmarkRecord|BenchmarkReplay|BenchmarkGenerate' \
+go test -run XXX -bench 'BenchmarkProfilerInstr|BenchmarkSimStep|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkUpsert|BenchmarkRecord|BenchmarkReplay|BenchmarkGenerate|BenchmarkServePredictWarm|BenchmarkServePredictCold|BenchmarkServeSweepWarm' \
   -benchmem -benchtime "$MICRO_TIME" \
-  ./internal/profiler ./internal/sim ./internal/cache ./internal/hashmap ./internal/trace \
+  ./internal/profiler ./internal/sim ./internal/cache ./internal/hashmap ./internal/trace ./internal/server \
   | tee "$TMP/micro.txt" >&2
 
 echo "== experiment benchmarks (-benchtime $MACRO_TIME)" >&2

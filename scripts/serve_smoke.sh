@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the `rppm serve` daemon:
+#
+#   1. start rppm-serve with a memory budget and a trace dir,
+#   2. wait for /healthz,
+#   3. predict over HTTP and diff the JSON byte-for-byte against the CLI's
+#      `rppm predict -json` (both build the response through the same code
+#      path, so any divergence is a serving-layer bug),
+#   4. exercise /v1/benchmarks, /v1/archs and /metrics,
+#   5. re-request to confirm a cache hit shows up in the metrics,
+#   6. SIGTERM and require a clean graceful drain.
+#
+# Usage: scripts/serve_smoke.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18344}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build" >&2
+go build -o "$WORK/rppm" ./cmd/rppm
+go build -o "$WORK/rppm-serve" ./cmd/rppm-serve
+
+echo "== start rppm-serve on $ADDR" >&2
+"$WORK/rppm-serve" -addr "$ADDR" -max-bytes 256MiB -trace-dir "$WORK/traces" \
+  2>"$WORK/serve.log" &
+SERVE_PID=$!
+
+for i in $(seq 1 100); do
+  if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "rppm-serve died during startup:" >&2; cat "$WORK/serve.log" >&2; exit 1
+  fi
+  sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null || { echo "healthz never came up" >&2; exit 1; }
+
+echo "== served predict vs CLI -json" >&2
+curl -sf "http://$ADDR/v1/predict?bench=kmeans&scale=0.05&seed=1" >"$WORK/srv.json"
+"$WORK/rppm" predict -bench kmeans -scale 0.05 -seed 1 -json >"$WORK/cli.json"
+diff "$WORK/srv.json" "$WORK/cli.json" || {
+  echo "served prediction differs from CLI output" >&2; exit 1; }
+
+echo "== list endpoints + sweep" >&2
+curl -sf "http://$ADDR/v1/benchmarks" | grep -q kmeans
+curl -sf "http://$ADDR/v1/archs" | grep -q '"Name":"base"'
+curl -sf "http://$ADDR/v1/sweep?bench=kmeans&configs=4&scale=0.05&seed=1" | grep -q '"fastest"'
+
+echo "== warm re-request hits the cache" >&2
+curl -sf "http://$ADDR/v1/predict?bench=kmeans&scale=0.05&seed=1" >"$WORK/srv2.json"
+diff "$WORK/srv.json" "$WORK/srv2.json"
+HITS=$(curl -sf "http://$ADDR/metrics" | awk '/^rppm_cache_hits_total/ {print $2}')
+[ "$HITS" -ge 1 ] || { echo "no cache hits after identical re-request" >&2; exit 1; }
+
+echo "== trace persisted" >&2
+ls "$WORK/traces"/kmeans_1_*.rpt >/dev/null || { echo "no trace file spilled" >&2; exit 1; }
+
+echo "== graceful drain on SIGTERM" >&2
+kill -TERM "$SERVE_PID"
+for i in $(seq 1 100); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "rppm-serve ignored SIGTERM" >&2; exit 1
+fi
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+grep -q "drained, exiting" "$WORK/serve.log" || {
+  echo "no drain message in log:" >&2; cat "$WORK/serve.log" >&2; exit 1; }
+
+echo "serve smoke OK" >&2
