@@ -13,9 +13,10 @@
 //
 // Common flags: -config (smallest|small|base|big|biggest), -scale, -seed,
 // -parallel; sweep takes -configs (design points, Table IV + variants);
-// predict takes -json (machine-readable output, byte-comparable with the
-// serve endpoint); serve takes -addr, -max-bytes, -trace-dir,
-// -max-inflight (see `rppm serve -h` and the README's Serving section).
+// predict and sweep take -json (machine-readable output, byte-comparable
+// with the corresponding serve endpoint); serve takes -addr, -max-bytes,
+// -trace-dir, -max-inflight (see `rppm serve -h` and the README's Serving
+// section).
 package main
 
 import (
@@ -49,7 +50,7 @@ func main() {
 	seed := fs.Uint64("seed", 1, "workload generation seed")
 	parallel := fs.Int("parallel", 0, "max concurrent profile/simulate jobs (0 = GOMAXPROCS)")
 	nconfigs := fs.Int("configs", 16, "design points for `rppm sweep` (Table IV + derived variants)")
-	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (predict only; matches the /v1/predict wire format)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (predict and sweep; matches the /v1/predict and /v1/sweep wire formats)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -68,6 +69,12 @@ func main() {
 			fatal(fmt.Errorf("-configs must be at least 1, got %d", *nconfigs))
 		}
 		session := rppm.NewEngine(rppm.EngineOptions{Workers: *parallel}).NewSession()
+		if *jsonOut {
+			if err := jsonSweep(session, *benchName, *nconfigs, *scale, *seed); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if err := sweep(session, *benchName, *nconfigs, *scale, *seed); err != nil {
 			fatal(err)
 		}
@@ -120,10 +127,28 @@ func jsonPredict(s *rppm.Session, benchName string, cfg arch.Config, scale float
 	return json.NewEncoder(os.Stdout).Encode(resp)
 }
 
+// jsonSweep emits the sweep in the /v1/sweep wire format, built by the
+// same construction path the server uses — so the output is
+// byte-comparable with a curl of the serving endpoint (the CI smoke job
+// diffs exactly that).
+func jsonSweep(s *rppm.Session, benchName string, nconfigs int, scale float64, seed uint64) error {
+	bench, err := rppm.BenchmarkByName(benchName)
+	if err != nil {
+		return err
+	}
+	resp, err := server.BuildSweep(context.Background(), s, bench, server.SweepRequest{
+		Bench: benchName, Configs: nconfigs, Seed: seed, Scale: scale,
+	})
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(os.Stdout).Encode(resp)
+}
+
 // sweep records the benchmark's trace once and simulates every design
-// point against the recording, then ranks the points by simulated time
-// alongside the RPPM predictions the same session derives from one
-// profile of the same recording.
+// point against the recording, with the RPPM predictions (derived from one
+// profile of the same recording) computed in the same fan-out, then ranks
+// the points by simulated time.
 func sweep(s *rppm.Session, benchName string, nconfigs int, scale float64, seed uint64) error {
 	bench, err := rppm.BenchmarkByName(benchName)
 	if err != nil {
@@ -133,7 +158,7 @@ func sweep(s *rppm.Session, benchName string, nconfigs int, scale float64, seed 
 	space := rppm.SweepSpace(nconfigs)
 
 	start := time.Now()
-	sims, err := s.SimulateSweep(ctx, bench, seed, scale, space)
+	sims, preds, err := s.SimulatePredictSweep(ctx, bench, seed, scale, space)
 	if err != nil {
 		return err
 	}
@@ -142,10 +167,7 @@ func sweep(s *rppm.Session, benchName string, nconfigs int, scale float64, seed 
 	rows := make([][]string, 0, len(space))
 	best := 0
 	for i, cfg := range space {
-		pred, err := s.Predict(ctx, bench, seed, scale, cfg)
-		if err != nil {
-			return err
-		}
+		pred := preds[i]
 		if sims[i].Seconds < sims[best].Seconds {
 			best = i
 		}

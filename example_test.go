@@ -1,0 +1,99 @@
+package rppm_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"rppm"
+)
+
+// ExampleProfile is the paper's core workflow: collect one
+// microarchitecture-independent profile, then predict any configuration
+// from it analytically.
+func ExampleProfile() {
+	bench, err := rppm.BenchmarkByName("kmeans")
+	if err != nil {
+		panic(err)
+	}
+	prog := bench.Build(1, 0.05) // seed 1, 5% scale
+
+	profile, err := rppm.Profile(prog) // one-time profiling cost
+	if err != nil {
+		panic(err)
+	}
+	for _, cfg := range rppm.DesignSpace()[:2] { // many predictions per profile
+		pred, err := rppm.Predict(profile, cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %.0f predicted cycles\n", cfg.Name, pred.Cycles)
+	}
+	// Output:
+	// smallest: 207879 predicted cycles
+	// small: 129556 predicted cycles
+}
+
+// ExampleRecord captures a program once and replays the recording through
+// the simulator — the record-once/replay-many path design-space sweeps
+// are built on.
+func ExampleRecord() {
+	bench, err := rppm.BenchmarkByName("kmeans")
+	if err != nil {
+		panic(err)
+	}
+	rec, err := rppm.Record(bench.Build(1, 0.05))
+	if err != nil {
+		panic(err)
+	}
+	res, err := rppm.Simulate(rec, rppm.BaseConfig()) // replays, no regeneration
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("replayed %d instructions in %.0f simulated cycles\n",
+		res.TotalInstr(), res.Cycles)
+	// Output:
+	// replayed 14725 instructions in 93861 simulated cycles
+}
+
+// ExampleSweep evaluates several design points against one recorded
+// trace, fanned out over an engine worker pool.
+func ExampleSweep() {
+	bench, err := rppm.BenchmarkByName("kmeans")
+	if err != nil {
+		panic(err)
+	}
+	space := rppm.SweepSpace(4)
+	sims, err := rppm.Sweep(context.Background(), bench, 1, 0.05, space, 0)
+	if err != nil {
+		panic(err)
+	}
+	best := 0
+	for i := range sims {
+		if sims[i].Seconds < sims[best].Seconds {
+			best = i
+		}
+	}
+	fmt.Printf("fastest of %d design points: %s\n", len(space), space[best].Name)
+	// Output:
+	// fastest of 4 design points: smallest
+}
+
+// ExampleClient embeds the `rppm serve` handler in a test server and
+// queries it with the typed client; served predictions are bit-identical
+// to in-process ones.
+func ExampleClient() {
+	ts := httptest.NewServer(rppm.NewServerHandler(rppm.ServerConfig{Workers: 1}))
+	defer ts.Close()
+
+	c := rppm.NewClient(ts.URL)
+	resp, err := c.Predict(context.Background(), rppm.PredictRequest{
+		Bench: "kmeans", Config: "base", Seed: 1, Scale: 0.05,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("served %s on %s: %.0f predicted cycles\n", resp.Bench, resp.Config, resp.Cycles)
+	// Output:
+	// served kmeans on base: 93785 predicted cycles
+}

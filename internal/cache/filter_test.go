@@ -1,0 +1,179 @@
+package cache
+
+import (
+	"math/bits"
+	"testing"
+
+	"rppm/internal/arch"
+	"rppm/internal/prng"
+)
+
+// refHierarchy is the pre-filter reference: the same caches and coherence
+// rules as Hierarchy, with a plain Go map directory and no private-line
+// filter. The differential test below drives both with identical traffic
+// and requires identical latencies, levels and counters.
+type refHierarchy struct {
+	cfg       arch.Config
+	lineShift uint
+
+	l1d, l2 []*Cache
+	llc     *Cache
+
+	dir          map[uint64]dirEntry
+	invalidation []uint64
+}
+
+func newRef(cfg arch.Config) *refHierarchy {
+	r := &refHierarchy{
+		cfg:          cfg,
+		lineShift:    uint(bits.Len(uint(cfg.L1D.LineBytes)) - 1),
+		llc:          New(cfg.LLC),
+		dir:          make(map[uint64]dirEntry),
+		invalidation: make([]uint64, cfg.Cores),
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		r.l1d = append(r.l1d, New(cfg.L1D))
+		r.l2 = append(r.l2, New(cfg.L2))
+	}
+	return r
+}
+
+func (h *refHierarchy) accessData(core int, addr uint64, write bool) (int, Level) {
+	line := addr >> h.lineShift
+	if !write {
+		if hit, _, _ := h.l1d[core].Access(line); hit {
+			return h.cfg.L1D.HitLatency, LevelL1
+		}
+		if hit, _, _ := h.l2[core].Access(line); hit {
+			return h.cfg.L2.HitLatency, LevelL2
+		}
+	}
+	e := h.dir[line]
+	remote := false
+	if op := e.ownerP(); op != 0 && int(op-1) != core {
+		remote = true
+		e = dirEntry(e.sharers())
+	}
+	if write {
+		for m := e.sharers() &^ (1 << uint(core)); m != 0; m &= m - 1 {
+			c := bits.TrailingZeros32(m)
+			inv := h.l1d[c].Invalidate(line)
+			if h.l2[c].Invalidate(line) || inv {
+				h.invalidation[c]++
+			}
+		}
+		e = dirEntry(1<<uint(core)) | dirEntry(core+1)<<32
+	} else {
+		e |= dirEntry(1) << uint(core)
+	}
+	h.dir[line] = e
+	if write {
+		if hit, _, _ := h.l1d[core].Access(line); hit && !remote {
+			return h.cfg.L1D.HitLatency, LevelL1
+		}
+		if hit, _, _ := h.l2[core].Access(line); hit && !remote {
+			return h.cfg.L2.HitLatency, LevelL2
+		}
+	}
+	hitLLC, _, _ := h.llc.Access(line)
+	if remote {
+		return h.cfg.LLC.HitLatency + remoteTransferPenalty, LevelRemote
+	}
+	if hitLLC {
+		return h.cfg.LLC.HitLatency, LevelLLC
+	}
+	return h.cfg.MemLatency, LevelMem
+}
+
+// TestFilterDifferential drives the filtered hierarchy and the reference
+// with identical randomized multicore traffic — mostly-private regions per
+// core plus a contended shared region, read- and write-heavy phases — and
+// requires access-for-access identical behaviour.
+func TestFilterDifferential(t *testing.T) {
+	cfg := arch.Base()
+	h := NewHierarchy(cfg)
+	ref := newRef(cfg)
+	r := prng.New(7)
+
+	n := 300000
+	if testing.Short() {
+		n = 60000
+	}
+	for i := 0; i < n; i++ {
+		core := int(r.Uint64n(uint64(cfg.Cores)))
+		var addr uint64
+		switch r.Uint64n(10) {
+		case 0, 1: // shared region, heavily contended
+			addr = 1<<30 + r.Uint64n(1<<12)<<6
+		case 2: // shared region, sparse
+			addr = 1<<31 + r.Uint64n(1<<18)<<6
+		default: // private region per core
+			addr = uint64(core+1)<<40 + r.Uint64n(1<<14)<<6
+		}
+		write := r.Uint64n(3) == 0
+		lat, lvl := h.AccessData(core, addr, write)
+		wlat, wlvl := ref.accessData(core, addr, write)
+		if lat != wlat || lvl != wlvl {
+			t.Fatalf("access %d (core %d addr %#x write %v): got %d@%v, reference %d@%v",
+				i, core, addr, write, lat, lvl, wlat, wlvl)
+		}
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		if h.Invalidations(c) != ref.invalidation[c] {
+			t.Fatalf("core %d invalidations: got %d, reference %d",
+				c, h.Invalidations(c), ref.invalidation[c])
+		}
+	}
+	if h.FilterHits() == 0 {
+		t.Fatal("private-line filter never hit under mostly-private traffic")
+	}
+	t.Logf("filter hits: %d of %d accesses", h.FilterHits(), n)
+}
+
+// TestFilterSkipsPrivateStores: the canonical win — a core repeatedly
+// storing to its own lines must hit the filter after the first store.
+func TestFilterSkipsPrivateStores(t *testing.T) {
+	h := NewHierarchy(arch.Base())
+	for i := 0; i < 100; i++ {
+		h.AccessData(0, 0x10_0000, true)
+	}
+	if hits := h.FilterHits(); hits != 99 {
+		t.Fatalf("filter hits = %d, want 99 (every store after the first)", hits)
+	}
+	// Another core's write takes over the line: the old owner's next store
+	// must miss the filter (state changed) and then re-own it.
+	h.AccessData(1, 0x10_0000, true)
+	h.AccessData(0, 0x10_0000, true) // directory path: core 1 owns it
+	if hits := h.FilterHits(); hits != 99 {
+		t.Fatalf("filter hit across an ownership change: %d hits", hits)
+	}
+	h.AccessData(0, 0x10_0000, true) // re-owned: filter hit again
+	if hits := h.FilterHits(); hits != 100 {
+		t.Fatalf("filter hits = %d, want 100 after re-owning", hits)
+	}
+}
+
+// TestFilterTopOfAddressSpace: the last representable line ((1<<58)-1 with
+// 64-byte lines) would wrap privPack to the empty-slot sentinel, so it must
+// bypass the filter — a fresh hierarchy must not fake a filter hit (which
+// would skip the remote-transfer path) for core 0 at that address.
+func TestFilterTopOfAddressSpace(t *testing.T) {
+	const addr = ^uint64(0) &^ 63 // line (1<<58)-1
+	h := NewHierarchy(arch.Base())
+	ref := newRef(arch.Base())
+	ops := []struct {
+		core  int
+		write bool
+	}{{1, true}, {0, false}, {0, false}, {0, true}, {1, false}}
+	for i, op := range ops {
+		lat, lvl := h.AccessData(op.core, addr, op.write)
+		wlat, wlvl := ref.accessData(op.core, addr, op.write)
+		if lat != wlat || lvl != wlvl {
+			t.Fatalf("op %d (core %d write %v): got %d@%v, reference %d@%v",
+				i, op.core, op.write, lat, lvl, wlat, wlvl)
+		}
+	}
+	if h.FilterHits() != 0 {
+		t.Fatalf("filter hits = %d at an unpackable line, want 0", h.FilterHits())
+	}
+}

@@ -467,18 +467,36 @@ func (s *Session) profilePinned(ctx context.Context, bm workload.Benchmark, seed
 // Simulate returns the cycle-level reference simulation of (bm, seed,
 // scale) on cfg, running it at most once per session and configuration.
 func (s *Session) Simulate(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config) (*sim.Result, error) {
+	return s.simulateOn(ctx, bm, seed, scale, cfg, nil)
+}
+
+// simulateOn is Simulate with an optional lazily-resolved replay view of
+// the workload's recording: the sweep passes a shared once-guarded
+// trace.Decode so all its configurations consume zero-copy column windows
+// of one decoded trace. progFn is only invoked on a simulation cache miss
+// — a fully warm sweep never decodes anything. The program it returns
+// must replay bit-identically to the recording (trace.Decode guarantees
+// this); results share the simulation cache either way.
+func (s *Session) simulateOn(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config, progFn func() trace.Program) (*sim.Result, error) {
 	v, err := s.do(ctx, simKey{Key{bm.Name, seed, scale}, cfg}, func(ctx context.Context) (any, error) {
-		prog, unpinRec, err := s.recordedPinned(ctx, bm, seed, scale)
-		if err != nil {
-			return nil, err
+		var p trace.Program
+		if progFn != nil {
+			p = progFn()
 		}
-		defer unpinRec()
+		if p == nil {
+			rec, unpinRec, err := s.recordedPinned(ctx, bm, seed, scale)
+			if err != nil {
+				return nil, err
+			}
+			defer unpinRec()
+			p = rec
+		}
 		if err := s.eng.acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.eng.release()
 		start := time.Now()
-		res, err := sim.Run(prog, cfg)
+		res, err := sim.Run(p, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -505,29 +523,74 @@ func (s *Session) Simulate(ctx context.Context, bm workload.Benchmark, seed uint
 // sweep) are returned from cache, and later Simulate calls reuse sweep
 // results.
 func (s *Session) SimulateSweep(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfgs []arch.Config) ([]*sim.Result, error) {
+	sims, _, err := s.sweep(ctx, bm, seed, scale, cfgs, false)
+	return sims, err
+}
+
+// SimulatePredictSweep is SimulateSweep plus the matching RPPM model
+// predictions, computed inside the same fan-out rather than as a serial
+// post-pass: prediction i runs as its own pool job concurrently with the
+// simulations, so a warm-profile sweep's predictions cost no extra wall
+// time. Both result slices are in cfgs order and bit-identical to
+// per-configuration Simulate and Predict calls (they share the same
+// caches).
+func (s *Session) SimulatePredictSweep(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfgs []arch.Config) ([]*sim.Result, []*core.Prediction, error) {
+	return s.sweep(ctx, bm, seed, scale, cfgs, true)
+}
+
+func (s *Session) sweep(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfgs []arch.Config, predict bool) ([]*sim.Result, []*core.Prediction, error) {
 	// Capture the recording before fanning out, so the sweep's workers all
 	// attach to the one in-flight capture instead of racing to start it.
 	// The pin is held across the whole fan-out: even when the sweep's
 	// results overflow a budgeted session, the one trace every
 	// configuration replays is captured exactly once.
-	_, unpin, err := s.recordedPinned(ctx, bm, seed, scale)
+	rec, unpin, err := s.recordedPinned(ctx, bm, seed, scale)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer unpin()
-	out := make([]*sim.Result, len(cfgs))
-	err = s.ForEach(ctx, len(cfgs), func(ctx context.Context, i int) error {
-		res, err := s.Simulate(ctx, bm, seed, scale, cfgs[i])
+	// Decode the packed words into struct-of-arrays form at most once for
+	// the whole sweep: every configuration that actually simulates replays
+	// zero-copy column windows instead of re-decoding the stream. The
+	// decode is lazy (first cache miss) so a warm sweep stays a pure
+	// cache-lookup pass, and the decoded view is transient — it lives for
+	// this sweep only (about 28 bytes per instruction) and is bit-identical
+	// to cursor replay, so cached simulation results remain interchangeable
+	// with per-configuration Simulate calls.
+	var decOnce sync.Once
+	var dec *trace.Decoded
+	decoded := func() trace.Program {
+		decOnce.Do(func() { dec = trace.Decode(rec) })
+		return dec
+	}
+	n := len(cfgs)
+	sims := make([]*sim.Result, n)
+	var preds []*core.Prediction
+	jobs := n
+	if predict {
+		preds = make([]*core.Prediction, n)
+		jobs = 2 * n
+	}
+	err = s.ForEach(ctx, jobs, func(ctx context.Context, i int) error {
+		if i < n {
+			res, err := s.simulateOn(ctx, bm, seed, scale, cfgs[i], decoded)
+			if err != nil {
+				return err
+			}
+			sims[i] = res
+			return nil
+		}
+		pred, err := s.Predict(ctx, bm, seed, scale, cfgs[i-n])
 		if err != nil {
 			return err
 		}
-		out[i] = res
+		preds[i-n] = pred
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return sims, preds, nil
 }
 
 // Predict returns the RPPM prediction for (bm, seed, scale) on cfg,

@@ -199,20 +199,21 @@ func BuildPredict(ctx context.Context, s *engine.Session, bm workload.Benchmark,
 }
 
 // BuildSweep computes a SweepResponse through the session: one recorded
-// trace, Configs replay-simulations plus model predictions.
+// trace, Configs replay-simulations plus model predictions, all fanned out
+// over the worker pool in a single pass (the predictions ride in the same
+// ForEach as the simulations instead of a serial post-pass). It is the
+// single construction path shared by the HTTP handler and `rppm sweep
+// -json`, which keeps the two byte-comparable.
 func BuildSweep(ctx context.Context, s *engine.Session, bm workload.Benchmark, req SweepRequest) (*SweepResponse, error) {
 	space := arch.SweepSpace(req.Configs)
-	sims, err := s.SimulateSweep(ctx, bm, req.Seed, req.Scale, space)
+	sims, preds, err := s.SimulatePredictSweep(ctx, bm, req.Seed, req.Scale, space)
 	if err != nil {
 		return nil, err
 	}
 	resp := &SweepResponse{Bench: bm.Name, Seed: req.Seed, Scale: req.Scale}
 	best := 0
 	for i, cfg := range space {
-		pred, err := s.Predict(ctx, bm, req.Seed, req.Scale, cfg)
-		if err != nil {
-			return nil, err
-		}
+		pred := preds[i]
 		if sims[i].Seconds < sims[best].Seconds {
 			best = i
 		}

@@ -136,10 +136,19 @@ type simThread struct {
 	core   int
 	stream trace.ThreadStream
 
-	// Pre-fetched items from the thread's stream.
+	// Pre-fetched items from the thread's stream (generic-stream path).
 	buf    []trace.Item
 	bufPos int
 	bufLen int
+
+	// Column-decode state (replay path): when the stream implements
+	// trace.ColumnStream, instructions are decoded straight into these
+	// struct-of-arrays batches and buf stays nil. Both paths consume the
+	// identical item sequence; only the in-memory staging differs.
+	colStream trace.ColumnStream
+	cols      *trace.Columns
+	colPos    int
+	colLen    int
 
 	created bool
 	blocked bool
@@ -166,6 +175,13 @@ type simThread struct {
 	bp            *bpred.Tournament
 	lastILine     uint64 // last fetched I-line; noILine before any fetch
 	frontendCause uint8  // what last stalled the front end (for attribution)
+
+	// acc accumulates the commit-gap attribution per component (indexed by
+	// attrBase..attrMemDRAM); folded into stack at the end of the run. An
+	// indexed array lets step charge a table-selected component with one
+	// indexed add instead of a comparison chain, and keeps each component's
+	// float addition order identical to the per-field form.
+	acc [numAttr]float64
 
 	// Accounting.
 	instr      uint64
@@ -198,16 +214,24 @@ type producerState struct {
 	queue     []int     // blocked consumers
 }
 
+// stepConsts are the per-configuration constants of the core model's
+// per-instruction hot path, hoisted out of arch.Config once per Run so
+// step reads a handful of pre-converted scalars instead of chasing the
+// config struct and re-converting integers every instruction.
+type stepConsts struct {
+	invWidth      float64           // 1 / DispatchWidth (dispatch and commit bandwidth)
+	invPort       [numPorts]float64 // 1 / ports in the group (issue bandwidth)
+	frontendDepth float64           // mispredict refill depth, pre-converted
+	mshrs         int               // MSHR bound for the miss-admission check
+}
+
 type engine struct {
 	cfg     arch.Config
 	prog    trace.Program
 	hier    *cache.Hierarchy
 	threads []*simThread
 
-	// Precomputed reciprocals: step charged three to four FP divisions per
-	// instruction for bandwidth terms that are configuration constants.
-	invWidth float64           // 1 / DispatchWidth
-	invPort  [numPorts]float64 // 1 / ports in the group
+	stepConsts
 
 	locks        map[uint32]*simLock
 	barriers     map[uint32]*simBarrier
@@ -242,8 +266,10 @@ func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 		return nil, err
 	}
 	if hints.DataLines == 0 {
-		if rec, ok := p.(*trace.Recorded); ok {
-			hints.DataLines = rec.DataLineBound()
+		// Recorded and Decoded programs both carry their captured line
+		// bound; any program exposing one gets the pre-sizing for free.
+		if b, ok := p.(interface{ DataLineBound() int }); ok {
+			hints.DataLines = b.DataLineBound()
 		}
 	}
 	e := &engine{
@@ -260,17 +286,30 @@ func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 	for pg := 0; pg < numPorts; pg++ {
 		e.invPort[pg] = 1 / portCount(&e.cfg, pg)
 	}
+	e.frontendDepth = float64(cfg.FrontendDepth)
+	e.mshrs = cfg.MSHRs
 	for t := 0; t < p.NumThreads(); t++ {
 		st := &simThread{
 			id:          t,
 			lastILine:   noILine,
 			core:        t % cfg.Cores,
 			stream:      p.Thread(t),
-			buf:         make([]trace.Item, batchSize),
 			created:     t == 0,
 			rob:         make([]float64, cfg.ROBSize),
 			outstanding: make([]float64, 0, cfg.MSHRs),
 			bp:          bpred.New(cfg.BPredBytes),
+		}
+		if cs, ok := st.stream.(*trace.DecodedCursor); ok {
+			// Shared-decode replay path (design-space sweeps): the cursor
+			// hands out zero-copy column windows over a trace decoded once
+			// for all configurations, so per-instruction stream cost is a
+			// couple of slice reads. Plain ReplayCursor streams stay on the
+			// Item path below — decoding packed words into one Item array
+			// beats fanning them across eight column arrays.
+			st.colStream = cs
+			st.cols = &trace.Columns{}
+		} else {
+			st.buf = make([]trace.Item, batchSize)
 		}
 		e.threads = append(e.threads, st)
 	}
@@ -303,6 +342,32 @@ func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 			return nil, fmt.Errorf("sim: deadlock in %q", p.Name())
 		}
 		limit := cur.clock + quantum
+		if cur.colStream != nil {
+			// Column replay path: instructions arrive in struct-of-arrays
+			// batches; sync events pause the column stream and are collected
+			// explicitly. The consumed item sequence is identical to the
+			// Item path below — only the staging differs.
+			cols := cur.cols
+			for cur.clock <= limit && !cur.done && !cur.blocked {
+				if cur.colPos == cur.colLen {
+					cur.colLen = cur.colStream.NextColumns(cols)
+					cur.colPos = 0
+					if cur.colLen == 0 {
+						ev, ok := cur.colStream.TakeSync()
+						if !ok {
+							ev = trace.Event{Kind: trace.SyncThreadExit}
+						}
+						e.handleSync(cur, ev)
+						break // sync events end the quantum: state may have changed
+					}
+				}
+				i := cur.colPos
+				cur.colPos++
+				e.step(cur, cols.Class[i], cols.Dst[i], cols.Src1[i], cols.Src2[i],
+					cols.PC[i], cols.Addr[i], cols.Taken[i])
+			}
+			continue
+		}
 		for cur.clock <= limit && !cur.done && !cur.blocked {
 			if cur.bufPos == cur.bufLen {
 				cur.bufLen = trace.FillBatch(cur.stream, cur.buf)
@@ -318,7 +383,8 @@ func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 				e.handleSync(cur, item.Sync)
 				break // sync events end the quantum: state may have changed
 			}
-			e.step(cur, &item.Instr)
+			in := &item.Instr
+			e.step(cur, in.Class, in.Dst, in.Src1, in.Src2, in.PC, in.Addr, in.Taken)
 		}
 	}
 
@@ -327,6 +393,12 @@ func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 		if st.finish > res.Cycles {
 			res.Cycles = st.finish
 		}
+		st.stack.Base = st.acc[attrBase]
+		st.stack.Branch = st.acc[attrBranch]
+		st.stack.ICache = st.acc[attrICache]
+		st.stack.MemL2 = st.acc[attrMemL2]
+		st.stack.MemLLC = st.acc[attrMemLLC]
+		st.stack.MemDRAM = st.acc[attrMemDRAM]
 		st.stack.Sync = st.idle
 		active := st.activeTotal()
 		st.stack.Instr = st.instr
@@ -537,19 +609,52 @@ const (
 	feNone uint8 = iota
 	feBranch
 	feICache
+	numFeCauses
 )
 
+// Commit-gap attribution components, indexing simThread.acc. attrBase must
+// be zero: the memory-level table below uses it as "no binding memory
+// penalty, fall through to the branch/front-end causes".
+const (
+	attrBase = iota
+	attrBranch
+	attrICache
+	attrMemL2
+	attrMemLLC
+	attrMemDRAM
+	numAttr
+)
+
+// memAttr maps a served memory level (+1, so the "no memory access" -1
+// indexes slot 0) to the attribution component bound to it. L1 hits carry
+// no attributable memory penalty and fall through like non-memory
+// instructions. This table plus feAttr replace the attribution comparison
+// chain with two indexed loads.
+var memAttr = [cache.NumLevels + 1]uint8{
+	0:                          attrBase, // no memory access
+	int(cache.LevelL1) + 1:     attrBase,
+	int(cache.LevelL2) + 1:     attrMemL2,
+	int(cache.LevelLLC) + 1:    attrMemLLC,
+	int(cache.LevelRemote) + 1: attrMemDRAM,
+	int(cache.LevelMem) + 1:    attrMemDRAM,
+}
+
+// feAttr maps the front-end stall cause to its attribution component.
+var feAttr = [numFeCauses]uint8{feNone: attrBase, feBranch: attrBranch, feICache: attrICache}
+
 // step advances the thread's timing state by one instruction (the
-// instruction-window-centric core model).
-func (e *engine) step(st *simThread, in *trace.Instr) {
-	cfg := &e.cfg
+// instruction-window-centric core model). Fields are passed individually
+// so both staging layouts (Item batches and replay columns) feed the same
+// model without an intermediate struct.
+func (e *engine) step(st *simThread, cls trace.Class, dst, src1, src2 int8, pc, addr uint64, taken bool) {
 	invWidth := e.invWidth
+	hier := e.hier
 
 	// Front end: I-cache and mispredict refill determine fetch readiness.
 	fetchReady := st.frontendFree
-	iline := in.PC >> 6
+	iline := pc >> 6
 	if iline != st.lastILine {
-		lat, _ := e.hier.AccessInstr(st.core, in.PC)
+		lat, _ := hier.AccessInstr(st.core, pc)
 		if lat > 0 {
 			fetchReady += float64(lat)
 			st.frontendFree = fetchReady
@@ -574,13 +679,13 @@ func (e *engine) step(st *simThread, in *trace.Instr) {
 	// Issue: operand readiness and port contention. Register-ready times
 	// below floor read as floor, which dispatch already bounds.
 	ready := dispatch
-	if in.Src1 >= 0 && st.regReady[in.Src1] > ready && st.regReady[in.Src1] > st.floor {
-		ready = st.regReady[in.Src1]
+	if src1 >= 0 && st.regReady[src1] > ready && st.regReady[src1] > st.floor {
+		ready = st.regReady[src1]
 	}
-	if in.Src2 >= 0 && st.regReady[in.Src2] > ready && st.regReady[in.Src2] > st.floor {
-		ready = st.regReady[in.Src2]
+	if src2 >= 0 && st.regReady[src2] > ready && st.regReady[src2] > st.floor {
+		ready = st.regReady[src2]
 	}
-	pg := portOf(in.Class)
+	pg := portOf(cls)
 	issue := ready
 	if st.portFree[pg] > issue {
 		issue = st.portFree[pg]
@@ -590,13 +695,13 @@ func (e *engine) step(st *simThread, in *trace.Instr) {
 	// Execute.
 	var complete float64
 	var memLevel cache.Level = -1
-	switch in.Class {
+	switch cls {
 	case trace.Load:
-		lat, lvl := e.hier.AccessData(st.core, in.Addr, false)
+		lat, lvl := hier.AccessData(st.core, addr, false)
 		memLevel = lvl
 		if lvl != cache.LevelL1 {
 			// MSHR limit: if all miss registers are busy, wait.
-			issue = st.mshrAdmit(issue, cfg.MSHRs)
+			issue = st.mshrAdmit(issue, e.mshrs)
 		}
 		complete = issue + float64(lat)
 		if lvl != cache.LevelL1 {
@@ -605,21 +710,21 @@ func (e *engine) step(st *simThread, in *trace.Instr) {
 	case trace.Store:
 		// Stores update coherence state but retire through the store
 		// buffer: one cycle of core latency.
-		e.hier.AccessData(st.core, in.Addr, true)
+		hier.AccessData(st.core, addr, true)
 		complete = issue + 1
 	default:
-		complete = issue + execLat[in.Class]
+		complete = issue + execLat[cls]
 	}
-	if in.Dst >= 0 {
-		st.regReady[in.Dst] = complete
+	if dst >= 0 {
+		st.regReady[dst] = complete
 	}
 
 	// Branch prediction.
 	mispredicted := false
-	if in.Class == trace.Branch {
-		if correct := st.bp.Update(in.PC, in.Taken); !correct {
+	if cls == trace.Branch {
+		if correct := st.bp.Update(pc, taken); !correct {
 			mispredicted = true
-			refill := complete + float64(cfg.FrontendDepth)
+			refill := complete + e.frontendDepth
 			if refill > st.frontendFree {
 				st.frontendFree = refill
 				st.frontendCause = feBranch
@@ -636,30 +741,25 @@ func (e *engine) step(st *simThread, in *trace.Instr) {
 	// Commit-gap attribution: every cycle of commit progress is charged to
 	// exactly one component, so per-thread stacks sum to active time. The
 	// smooth-flow share (1/width) and dependence/port stalls are base; the
-	// excess beyond smooth flow goes to the binding penalty.
+	// excess beyond smooth flow goes to the binding penalty, selected by
+	// table lookup (memory level first, then mispredict, then the recorded
+	// front-end cause) exactly as the old comparison chain did.
 	gap := commit - st.prevCommit
 	excess := gap - invWidth
 	if excess > 0 {
-		switch {
-		case memLevel == cache.LevelL2:
-			st.stack.MemL2 += excess
-		case memLevel == cache.LevelLLC:
-			st.stack.MemLLC += excess
-		case memLevel == cache.LevelRemote, memLevel == cache.LevelMem:
-			st.stack.MemDRAM += excess
-		case mispredicted:
-			// The mispredicted branch's own resolution latency.
-			st.stack.Branch += excess
-		case frontendBound && st.frontendCause == feBranch:
-			st.stack.Branch += excess
-		case frontendBound && st.frontendCause == feICache:
-			st.stack.ICache += excess
-		default:
-			st.stack.Base += excess
+		a := memAttr[memLevel+1]
+		if a == attrBase {
+			if mispredicted {
+				// The mispredicted branch's own resolution latency.
+				a = attrBranch
+			} else if frontendBound {
+				a = feAttr[st.frontendCause]
+			}
 		}
-		st.stack.Base += gap - excess
+		st.acc[a] += excess
+		st.acc[attrBase] += gap - excess
 	} else {
-		st.stack.Base += gap
+		st.acc[attrBase] += gap
 	}
 
 	st.prevCommit = commit

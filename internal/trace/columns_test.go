@@ -1,0 +1,124 @@
+package trace_test
+
+import (
+	"testing"
+
+	"rppm/internal/trace"
+	"rppm/internal/workload"
+)
+
+// drainColumns collects a recorded thread through the struct-of-arrays
+// interface, reassembling Items so the result is directly comparable with
+// the NextBatch view of the same words.
+func drainColumns(t *testing.T, c *trace.ReplayCursor, batch int) []trace.Item {
+	t.Helper()
+	cols := trace.NewColumns(batch)
+	var out []trace.Item
+	for {
+		n := c.NextColumns(cols)
+		for i := 0; i < n; i++ {
+			out = append(out, trace.InstrItem(trace.Instr{
+				Class:    cols.Class[i],
+				Dst:      cols.Dst[i],
+				Src1:     cols.Src1[i],
+				Src2:     cols.Src2[i],
+				Addr:     cols.Addr[i],
+				PC:       cols.PC[i],
+				BranchID: cols.BranchID[i],
+				Taken:    cols.Taken[i],
+			}))
+		}
+		if n == cols.Cap() {
+			continue
+		}
+		ev, ok := c.TakeSync()
+		if !ok {
+			return out // stream exhausted
+		}
+		out = append(out, trace.SyncItem(ev))
+	}
+}
+
+// checkColumns verifies the column decode of every thread of a recording
+// against the Item decode, across batch sizes that split control sequences.
+func checkColumns(t *testing.T, p trace.Program) {
+	t.Helper()
+	rec, err := trace.Record(p)
+	if err != nil {
+		t.Fatalf("Record(%s): %v", p.Name(), err)
+	}
+	for tid := 0; tid < rec.NumThreads(); tid++ {
+		want := drain(t, rec.Replay(tid), []int{256})
+		for _, batch := range []int{1, 2, 7, 256} {
+			got := drainColumns(t, rec.Replay(tid), batch)
+			if len(got) != len(want) {
+				t.Fatalf("%s thread %d (batch %d): columns yielded %d items, NextBatch %d",
+					p.Name(), tid, batch, len(got), len(want))
+			}
+			for i := range want {
+				if !itemsEqual(got[i], want[i]) {
+					t.Fatalf("%s thread %d item %d (batch %d):\n columns %+v\n items   %+v",
+						p.Name(), tid, i, batch, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestColumnsMatchItems differentially tests the struct-of-arrays decode
+// path against the Item decode path over suite benchmarks and the
+// edge-case program (absolute PC re-bases, wide escapes, extended syncs).
+func TestColumnsMatchItems(t *testing.T) {
+	names := []string{"kmeans", "streamcluster", "canneal"}
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		bm, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkColumns(t, bm.Build(1, 0.05))
+	}
+	checkColumns(t, edgeCaseProgram())
+}
+
+// TestColumnsSyncHandoff: a pending sync decoded by NextColumns but not yet
+// taken must surface through NextBatch (and Next) instead of being lost, so
+// consumers may switch interfaces between batches.
+func TestColumnsSyncHandoff(t *testing.T) {
+	p := &trace.SliceProgram{ProgName: "handoff", Threads: [][]trace.Item{{
+		trace.InstrItem(trace.Instr{Class: trace.IntALU, Dst: 1, Src1: -1, Src2: -1, PC: 4}),
+		trace.SyncItem(trace.Event{Kind: trace.SyncBarrier, Obj: 1, Arg: 2}),
+		trace.InstrItem(trace.Instr{Class: trace.IntALU, Dst: 2, Src1: 1, Src2: -1, PC: 8}),
+		trace.SyncItem(trace.Event{Kind: trace.SyncThreadExit}),
+	}}}
+	rec, err := trace.Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rec.Replay(0)
+	cols := trace.NewColumns(8)
+	if n := c.NextColumns(cols); n != 1 {
+		t.Fatalf("NextColumns = %d, want 1 (stop before barrier)", n)
+	}
+	// Switch interfaces without TakeSync: the barrier must come out first.
+	it, ok := c.Next()
+	if !ok || !it.IsSync || it.Sync.Kind != trace.SyncBarrier {
+		t.Fatalf("Next after pending sync = %+v, %v; want the barrier event", it, ok)
+	}
+	// The resumed decode returns the post-barrier instruction and already
+	// holds the trailing exit sync (it stops the batch early).
+	if n := c.NextColumns(cols); n != 1 || cols.Dst[0] != 2 {
+		t.Fatalf("resumed NextColumns = %d (dst %d), want the post-barrier instruction", n, cols.Dst[0])
+	}
+	if ev, ok := c.TakeSync(); !ok || ev.Kind != trace.SyncThreadExit {
+		t.Fatalf("TakeSync = %+v, %v; want thread-exit", ev, ok)
+	}
+	if n := c.NextColumns(cols); n != 0 {
+		t.Fatalf("NextColumns past end = %d, want 0", n)
+	}
+	if ev, ok := c.TakeSync(); ok {
+		t.Fatalf("TakeSync on exhausted stream returned %+v", ev)
+	}
+}

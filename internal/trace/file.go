@@ -14,7 +14,9 @@ import (
 
 // This file implements the persistence format for Recorded traces, so a
 // long-lived service can spill captured recordings to disk and reload them
-// across restarts instead of re-paying the generation pass.
+// across restarts instead of re-paying the generation pass. The layout is
+// specified normatively in docs/TRACE_FORMAT.md; any change here must bump
+// FileVersion and follow that document's evolution checklist.
 //
 // # Format (version 1)
 //

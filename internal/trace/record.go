@@ -2,7 +2,9 @@ package trace
 
 import "fmt"
 
-// This file implements the record-once/replay-many trace subsystem.
+// This file implements the record-once/replay-many trace subsystem. The
+// encoding below is specified normatively in docs/TRACE_FORMAT.md — keep
+// the two in lockstep, and bump FileVersion (file.go) on any change.
 //
 // A Recorded is a compact immutable capture of a Program's item streams:
 // each thread's stream is packed into a flat []uint64 word stream, roughly
@@ -326,6 +328,13 @@ type ReplayCursor struct {
 	pos     int
 	prevPC  uint64
 	addrReg [2]uint64
+
+	// pendingSync holds a synchronization event NextColumns decoded but the
+	// consumer has not yet collected via TakeSync (the column interface
+	// carries instructions only). NextBatch drains it first, so the Item
+	// and column views stay position-consistent.
+	pendingSync Event
+	hasSync     bool
 }
 
 // Next implements ThreadStream.
@@ -341,10 +350,18 @@ func (c *ReplayCursor) Next() (Item, bool) {
 // the BatchStream contract the Sync field of instruction items is left
 // unspecified (stale buffer bytes); sync items are written in full.
 func (c *ReplayCursor) NextBatch(buf []Item) int {
+	n := 0
+	if c.hasSync {
+		if len(buf) == 0 {
+			return 0
+		}
+		buf[0] = Item{IsSync: true, Sync: c.pendingSync}
+		c.hasSync = false
+		n = 1
+	}
 	words, pos := c.words, c.pos
 	prevPC := c.prevPC
 	addrReg := c.addrReg
-	n := 0
 	for n < len(buf) && pos < len(words) {
 		w := words[pos]
 		pos++

@@ -10,6 +10,15 @@
 // create/join/exit). Streams are deterministic and restartable, so the
 // profiler and the simulator observe bit-identical executions — the
 // in-memory equivalent of profiling and simulating the same binary.
+//
+// The package also implements the record-once/replay-many trace subsystem:
+// Record packs a Program into a compact word stream (Recorded) that any
+// number of cursors replay concurrently — as Items (NextBatch), as
+// struct-of-arrays columns (NextColumns), or through a fully decoded
+// shared view (Decode) — plus a versioned persistence format. The packed
+// encoding and the file layout are specified normatively in
+// docs/TRACE_FORMAT.md; change them only per that document's evolution
+// checklist.
 package trace
 
 import "fmt"

@@ -24,6 +24,7 @@ package rppm
 
 import (
 	"context"
+	"net/http"
 
 	"rppm/internal/arch"
 	"rppm/internal/bottlegraph"
@@ -111,6 +112,20 @@ type (
 	// /v1/benchmarks endpoint.
 	BenchmarkInfo = server.BenchmarkInfo
 )
+
+// ServerConfig configures an embedded prediction server (see
+// NewServerHandler): worker-pool bound, resident-cache memory budget,
+// trace persistence directory and admission limit. The zero value serves
+// with GOMAXPROCS workers and an unbounded cache.
+type ServerConfig = server.Config
+
+// NewServerHandler returns the `rppm serve` HTTP handler (endpoints
+// /v1/predict, /v1/sweep, /v1/benchmarks, /v1/archs, /healthz, /metrics)
+// backed by a fresh engine and resident session, for embedding the
+// prediction service in another process or an httptest server. The
+// standalone daemon (`rppm serve`, cmd/rppm-serve) wraps the same handler
+// with flag parsing and graceful shutdown.
+func NewServerHandler(cfg ServerConfig) http.Handler { return server.New(cfg).Handler() }
 
 // NewClient creates a client for an `rppm serve` daemon at baseURL, e.g.
 // "http://127.0.0.1:8344":

@@ -7,7 +7,7 @@
 # Usage:
 #   scripts/bench.sh [N] [micro-benchtime] [macro-benchtime]
 #
-#   N                suffix of the output file BENCH_<N>.json (default: 4)
+#   N                suffix of the output file BENCH_<N>.json (default: 5)
 #   micro-benchtime  -benchtime for the micro-benchmarks (default: 1s)
 #   macro-benchtime  -benchtime for the experiment benchmarks (default: 1x)
 #
@@ -21,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-4}"
+N="${1:-5}"
 MICRO_TIME="${2:-1s}"
 MACRO_TIME="${3:-1x}"
 OUT="BENCH_${N}.json"
@@ -29,7 +29,7 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 echo "== micro-benchmarks (-benchtime $MICRO_TIME)" >&2
-go test -run XXX -bench 'BenchmarkProfilerInstr|BenchmarkSimStep|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkUpsert|BenchmarkRecord|BenchmarkReplay|BenchmarkGenerate|BenchmarkServePredictWarm|BenchmarkServePredictCold|BenchmarkServeSweepWarm' \
+go test -run XXX -bench 'BenchmarkProfilerInstr|BenchmarkSimStep|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkUpsert|BenchmarkRecord|BenchmarkReplay|BenchmarkReplayColumns|BenchmarkDecodeShared|BenchmarkGenerate|BenchmarkServePredictWarm|BenchmarkServePredictCold|BenchmarkServeSweepWarm' \
   -benchmem -benchtime "$MICRO_TIME" \
   ./internal/profiler ./internal/sim ./internal/cache ./internal/hashmap ./internal/trace ./internal/server \
   | tee "$TMP/micro.txt" >&2

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# check_doc_links.sh — fail if any intra-repo markdown link (README.md,
+# docs/*.md) points at a file that does not exist. External links
+# (http/https), bare anchors and mailto are ignored; a fragment after an
+# existing file is accepted. Also verifies that doc files referenced from
+# Go doc comments (docs/*.md mentions) exist.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Markdown links: [text](target)
+while IFS=: read -r file target; do
+  case "$target" in
+    http://*|https://*|mailto:*|\#*) continue ;;
+  esac
+  path="${target%%#*}"
+  [ -z "$path" ] && continue
+  dir=$(dirname "$file")
+  if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+    echo "broken link in $file: ($target)" >&2
+    fail=1
+  fi
+done < <(grep -oHE '\]\([^)]+\)' ./*.md docs/*.md 2>/dev/null \
+         | sed -E 's/^([^:]+):\]\(([^)]+)\)$/\1:\2/')
+
+# docs/*.md references inside Go doc comments.
+while read -r path; do
+  if [ ! -e "$path" ]; then
+    echo "broken doc reference in Go doc comments: $path" >&2
+    fail=1
+  fi
+done < <(grep -rhoE 'docs/[A-Za-z0-9_.-]+\.md' --include='*.go' . | sort -u)
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check failed" >&2
+  exit 1
+fi
+echo "doc links OK" >&2

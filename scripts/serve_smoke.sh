@@ -48,10 +48,16 @@ curl -sf "http://$ADDR/v1/predict?bench=kmeans&scale=0.05&seed=1" >"$WORK/srv.js
 diff "$WORK/srv.json" "$WORK/cli.json" || {
   echo "served prediction differs from CLI output" >&2; exit 1; }
 
-echo "== list endpoints + sweep" >&2
+echo "== list endpoints" >&2
 curl -sf "http://$ADDR/v1/benchmarks" | grep -q kmeans
 curl -sf "http://$ADDR/v1/archs" | grep -q '"Name":"base"'
-curl -sf "http://$ADDR/v1/sweep?bench=kmeans&configs=4&scale=0.05&seed=1" | grep -q '"fastest"'
+
+echo "== served sweep vs CLI -json" >&2
+curl -sf "http://$ADDR/v1/sweep?bench=kmeans&configs=4&scale=0.05&seed=1" >"$WORK/srv_sweep.json"
+grep -q '"fastest"' "$WORK/srv_sweep.json"
+"$WORK/rppm" sweep -bench kmeans -configs 4 -scale 0.05 -seed 1 -json >"$WORK/cli_sweep.json"
+diff "$WORK/srv_sweep.json" "$WORK/cli_sweep.json" || {
+  echo "served sweep differs from CLI output" >&2; exit 1; }
 
 echo "== warm re-request hits the cache" >&2
 curl -sf "http://$ADDR/v1/predict?bench=kmeans&scale=0.05&seed=1" >"$WORK/srv2.json"
