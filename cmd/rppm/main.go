@@ -12,9 +12,10 @@
 //	rppm serve    [flags]              # resident HTTP/JSON prediction service
 //
 // Common flags: -config (smallest|small|base|big|biggest), -scale, -seed,
-// -parallel; sweep takes -configs (design points, Table IV + variants);
-// predict and sweep take -json (machine-readable output, byte-comparable
-// with the corresponding serve endpoint); serve takes -addr, -max-bytes,
+// -parallel; sweep takes -configs (design points, Table IV + variants) and
+// -batch (configs per batched simulation job, 0 = auto); predict and sweep
+// take -json (machine-readable output, byte-comparable with the
+// corresponding serve endpoint); serve takes -addr, -max-bytes,
 // -trace-dir, -max-inflight (see `rppm serve -h` and the README's Serving
 // section).
 package main
@@ -50,6 +51,7 @@ func main() {
 	seed := fs.Uint64("seed", 1, "workload generation seed")
 	parallel := fs.Int("parallel", 0, "max concurrent profile/simulate jobs (0 = GOMAXPROCS)")
 	nconfigs := fs.Int("configs", 16, "design points for `rppm sweep` (Table IV + derived variants)")
+	batch := fs.Int("batch", 0, "configs simulated per batched sweep job (0 = auto from -configs and -parallel; results are identical at any width)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (predict and sweep; matches the /v1/predict and /v1/sweep wire formats)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -68,14 +70,17 @@ func main() {
 		if *nconfigs < 1 {
 			fatal(fmt.Errorf("-configs must be at least 1, got %d", *nconfigs))
 		}
+		if *batch < 0 {
+			fatal(fmt.Errorf("-batch must be non-negative (0 = auto), got %d", *batch))
+		}
 		session := rppm.NewEngine(rppm.EngineOptions{Workers: *parallel}).NewSession()
 		if *jsonOut {
-			if err := jsonSweep(session, *benchName, *nconfigs, *scale, *seed); err != nil {
+			if err := jsonSweep(session, *benchName, *nconfigs, *batch, *scale, *seed); err != nil {
 				fatal(err)
 			}
 			return
 		}
-		if err := sweep(session, *benchName, *nconfigs, *scale, *seed); err != nil {
+		if err := sweep(session, *benchName, *nconfigs, *batch, *scale, *seed); err != nil {
 			fatal(err)
 		}
 	case "predict", "simulate", "compare", "bottle":
@@ -106,7 +111,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle|sweep|serve} [-bench NAME] [-config base] [-configs 16] [-scale 0.3] [-seed 1] [-parallel N] [-json]")
+	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle|sweep|serve} [-bench NAME] [-config base] [-configs 16] [-batch 0] [-scale 0.3] [-seed 1] [-parallel N] [-json]")
 }
 
 // jsonPredict emits the prediction in the /v1/predict wire format, built
@@ -131,13 +136,13 @@ func jsonPredict(s *rppm.Session, benchName string, cfg arch.Config, scale float
 // same construction path the server uses — so the output is
 // byte-comparable with a curl of the serving endpoint (the CI smoke job
 // diffs exactly that).
-func jsonSweep(s *rppm.Session, benchName string, nconfigs int, scale float64, seed uint64) error {
+func jsonSweep(s *rppm.Session, benchName string, nconfigs, batch int, scale float64, seed uint64) error {
 	bench, err := rppm.BenchmarkByName(benchName)
 	if err != nil {
 		return err
 	}
 	resp, err := server.BuildSweep(context.Background(), s, bench, server.SweepRequest{
-		Bench: benchName, Configs: nconfigs, Seed: seed, Scale: scale,
+		Bench: benchName, Configs: nconfigs, Seed: seed, Scale: scale, Batch: batch,
 	})
 	if err != nil {
 		return err
@@ -149,7 +154,7 @@ func jsonSweep(s *rppm.Session, benchName string, nconfigs int, scale float64, s
 // point against the recording, with the RPPM predictions (derived from one
 // profile of the same recording) computed in the same fan-out, then ranks
 // the points by simulated time.
-func sweep(s *rppm.Session, benchName string, nconfigs int, scale float64, seed uint64) error {
+func sweep(s *rppm.Session, benchName string, nconfigs, batch int, scale float64, seed uint64) error {
 	bench, err := rppm.BenchmarkByName(benchName)
 	if err != nil {
 		return err
@@ -158,7 +163,7 @@ func sweep(s *rppm.Session, benchName string, nconfigs int, scale float64, seed 
 	space := rppm.SweepSpace(nconfigs)
 
 	start := time.Now()
-	sims, preds, err := s.SimulatePredictSweep(ctx, bench, seed, scale, space)
+	sims, preds, err := s.SimulatePredictSweepBatch(ctx, bench, seed, scale, space, batch)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"rppm/internal/arch"
 	"rppm/internal/sim"
+	"rppm/internal/trace"
 	"rppm/internal/workload"
 )
 
@@ -23,4 +24,31 @@ func BenchmarkSimStep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(total), "ns/instr")
+}
+
+// BenchmarkSimStepSweep measures the simulator's per-instruction cost in
+// sweep mode: RunBatch advancing eight design-space configurations over
+// one shared decoded trace in interleaved windows. Same workload as
+// BenchmarkSimStep, so the two gauges are directly comparable — the sweep
+// number additionally replaces generation with shared-decode replay.
+func BenchmarkSimStepSweep(b *testing.B) {
+	rec, err := trace.Record(workload.BarrierLoop(4, 8, 20000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := trace.Decode(rec)
+	space := arch.SweepSpace(8)
+	results, err := sim.RunBatch(dec, space, sim.Hints{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	perConfig := results[0].TotalInstr() // same trace for every config
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunBatch(dec, space, sim.Hints{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(space))/float64(perConfig), "ns/instr")
 }

@@ -22,6 +22,14 @@
 // LLC sharing, lock hand-offs) happen in a causally consistent global
 // order. The simulator reports per-thread measured CPI stacks using direct
 // penalty attribution, enabling the component-wise comparison of Figure 5.
+//
+// For design-space sweeps the package additionally offers config-batched
+// stepping: RunBatch advances k fully independent engine states over one
+// shared trace in bounded interleaved slices, so the trace columns a
+// sweep's configurations all read stay hot in the host cache instead of
+// being streamed k times (see docs/ARCHITECTURE.md, "Batched sweep
+// stepping", for the layout and the exactness argument). Batched results
+// are bit-identical to k separate Run calls.
 package sim
 
 import (
@@ -222,6 +230,7 @@ type stepConsts struct {
 	invWidth      float64           // 1 / DispatchWidth (dispatch and commit bandwidth)
 	invPort       [numPorts]float64 // 1 / ports in the group (issue bandwidth)
 	frontendDepth float64           // mispredict refill depth, pre-converted
+	l1dLat        float64           // L1D hit latency, for the MRU-load fast path
 	mshrs         int               // MSHR bound for the miss-admission check
 }
 
@@ -238,6 +247,14 @@ type engine struct {
 	condBarriers map[uint32]*simBarrier
 	producers    map[uint32]*producerState
 	joinWaiters  map[int][]int
+
+	// Resumable-scheduler state: when advance returns with its instruction
+	// budget exhausted mid-quantum, cur is the running thread and limit its
+	// quantum bound, so the next advance call resumes the exact same
+	// quantum instead of recomputing a fresh limit (which would change the
+	// interleaving and break bit-identity with an uninterrupted run).
+	cur   *simThread
+	limit float64
 }
 
 // Hints are optional workload-dependent (but configuration-independent)
@@ -262,6 +279,72 @@ func Run(p trace.Program, cfg arch.Config) (*Result, error) {
 // one. If the program is a recorded trace, its captured line count is used
 // when the caller passes none.
 func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
+	e, err := newEngine(p, cfg, hints)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.advance(^uint64(0)); err != nil {
+		return nil, err
+	}
+	return e.result(), nil
+}
+
+// batchWindow is the per-turn instruction budget of RunBatch's round-robin:
+// each engine advances at most this many instructions before the next one
+// gets the trace. At ~28 bytes of decoded column data per instruction a
+// window touches ~900 KiB — outer-cache-resident on the host — so all k
+// engines re-read a warm region instead of streaming the whole trace k
+// times. The window is deliberately coarse: every turn switch faults the
+// next engine's private simulator state (tag arrays, directory map) back
+// into the host caches, so a window must be long enough to amortize that
+// reload against the trace-locality win. 32 Ki instructions measured
+// fastest across the suite; 8 Ki was ~25% slower on the memory-heavy
+// workloads while the compute-heavy ones were flat.
+const batchWindow = 32768
+
+// RunBatch simulates the program under each configuration with
+// config-batched stepping: k engine states advance over the shared program
+// in bounded round-robin slices of batchWindow instructions, so every
+// configuration walks the same region of the trace at roughly the same
+// time and its columns stay hot in the host cache (the intended program
+// type is trace.Decoded, whose cursors are zero-copy views over one shared
+// decode). Each engine is exactly the Run engine — turn boundaries only
+// pause and resume it between instructions — so every returned Result is
+// bit-identical to a serial Run/RunHinted call with the same inputs; see
+// docs/ARCHITECTURE.md, "Batched sweep stepping". An invalid configuration
+// or a deadlocked program fails the whole batch.
+func RunBatch(p trace.Program, cfgs []arch.Config, hints Hints) ([]*Result, error) {
+	engines := make([]*engine, len(cfgs))
+	for i := range cfgs {
+		e, err := newEngine(p, cfgs[i], hints)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = e
+	}
+	results := make([]*Result, len(cfgs))
+	for remaining := len(engines); remaining > 0; {
+		for i, e := range engines {
+			if e == nil {
+				continue
+			}
+			done, err := e.advance(batchWindow)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				results[i] = e.result()
+				engines[i] = nil
+				remaining--
+			}
+		}
+	}
+	return results, nil
+}
+
+// newEngine validates the configuration and builds a ready-to-advance
+// engine over the program.
+func newEngine(p trace.Program, cfg arch.Config, hints Hints) (*engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -287,6 +370,7 @@ func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 		e.invPort[pg] = 1 / portCount(&e.cfg, pg)
 	}
 	e.frontendDepth = float64(cfg.FrontendDepth)
+	e.l1dLat = float64(cfg.L1D.HitLatency)
 	e.mshrs = cfg.MSHRs
 	for t := 0; t < p.NumThreads(); t++ {
 		st := &simThread{
@@ -313,35 +397,48 @@ func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 		}
 		e.threads = append(e.threads, st)
 	}
+	return e, nil
+}
 
-	// Scheduling quantum: a thread may run ahead of the globally slowest
-	// runnable thread by at most this many cycles before yielding, bounding
-	// causal skew of shared-memory interleaving.
-	const quantum = 200.0
+// quantum is the scheduling quantum: a thread may run ahead of the globally
+// slowest runnable thread by at most this many cycles before yielding,
+// bounding causal skew of shared-memory interleaving.
+const quantum = 200.0
 
+// advance runs the global scheduler for at most budget instructions and
+// reports whether the program finished. A false return with nil error
+// means the budget ran out mid-quantum; the interrupted quantum's state is
+// saved on the engine, so a later advance resumes exactly where this one
+// stopped and the concatenation of budget slices steps the identical
+// instruction sequence an uninterrupted run would. Synchronization events
+// are handled at quantum boundaries and cost no budget.
+func (e *engine) advance(budget uint64) (bool, error) {
+	cur, limit := e.cur, e.limit
 	for {
-		// Pick the runnable thread with the smallest clock.
-		var cur *simThread
-		allDone := true
-		for _, st := range e.threads {
-			if st.done {
-				continue
-			}
-			allDone = false
-			if !st.created || st.blocked {
-				continue
-			}
-			if cur == nil || st.clock < cur.clock {
-				cur = st
-			}
-		}
-		if allDone {
-			break
-		}
 		if cur == nil {
-			return nil, fmt.Errorf("sim: deadlock in %q", p.Name())
+			// Pick the runnable thread with the smallest clock.
+			allDone := true
+			for _, st := range e.threads {
+				if st.done {
+					continue
+				}
+				allDone = false
+				if !st.created || st.blocked {
+					continue
+				}
+				if cur == nil || st.clock < cur.clock {
+					cur = st
+				}
+			}
+			if allDone {
+				e.cur = nil
+				return true, nil
+			}
+			if cur == nil {
+				return false, fmt.Errorf("sim: deadlock in %q", e.prog.Name())
+			}
+			limit = cur.clock + quantum
 		}
-		limit := cur.clock + quantum
 		if cur.colStream != nil {
 			// Column replay path: instructions arrive in struct-of-arrays
 			// batches; sync events pause the column stream and are collected
@@ -349,6 +446,10 @@ func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 			// Item path below — only the staging differs.
 			cols := cur.cols
 			for cur.clock <= limit && !cur.done && !cur.blocked {
+				if budget == 0 {
+					e.cur, e.limit = cur, limit
+					return false, nil
+				}
 				if cur.colPos == cur.colLen {
 					cur.colLen = cur.colStream.NextColumns(cols)
 					cur.colPos = 0
@@ -365,10 +466,16 @@ func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 				cur.colPos++
 				e.step(cur, cols.Class[i], cols.Dst[i], cols.Src1[i], cols.Src2[i],
 					cols.PC[i], cols.Addr[i], cols.Taken[i])
+				budget--
 			}
+			cur = nil
 			continue
 		}
 		for cur.clock <= limit && !cur.done && !cur.blocked {
+			if budget == 0 {
+				e.cur, e.limit = cur, limit
+				return false, nil
+			}
 			if cur.bufPos == cur.bufLen {
 				cur.bufLen = trace.FillBatch(cur.stream, cur.buf)
 				cur.bufPos = 0
@@ -385,9 +492,14 @@ func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 			}
 			in := &item.Instr
 			e.step(cur, in.Class, in.Dst, in.Src1, in.Src2, in.PC, in.Addr, in.Taken)
+			budget--
 		}
+		cur = nil
 	}
+}
 
+// result assembles the Result from a finished engine.
+func (e *engine) result() *Result {
 	res := &Result{}
 	for _, st := range e.threads {
 		if st.finish > res.Cycles {
@@ -411,8 +523,8 @@ func RunHinted(p trace.Program, cfg arch.Config, hints Hints) (*Result, error) {
 			ActiveIntervals: st.intervals,
 		})
 	}
-	res.Seconds = cfg.CyclesToSeconds(res.Cycles)
-	return res, nil
+	res.Seconds = e.cfg.CyclesToSeconds(res.Cycles)
+	return res
 }
 
 func (st *simThread) activeTotal() float64 {
@@ -651,14 +763,19 @@ func (e *engine) step(st *simThread, cls trace.Class, dst, src1, src2 int8, pc, 
 	hier := e.hier
 
 	// Front end: I-cache and mispredict refill determine fetch readiness.
+	// The MRU fast path covers the dominant fetch (an L1I hit adds no
+	// latency, so a true return needs no further work) without the
+	// AccessInstr call.
 	fetchReady := st.frontendFree
 	iline := pc >> 6
 	if iline != st.lastILine {
-		lat, _ := hier.AccessInstr(st.core, pc)
-		if lat > 0 {
-			fetchReady += float64(lat)
-			st.frontendFree = fetchReady
-			st.frontendCause = feICache
+		if !hier.InstrMRU(st.core, pc) {
+			lat, _ := hier.AccessInstr(st.core, pc)
+			if lat > 0 {
+				fetchReady += float64(lat)
+				st.frontendFree = fetchReady
+				st.frontendCause = feICache
+			}
 		}
 		st.lastILine = iline
 	}
@@ -697,6 +814,15 @@ func (e *engine) step(st *simThread, cls trace.Class, dst, src1, src2 int8, pc, 
 	var memLevel cache.Level = -1
 	switch cls {
 	case trace.Load:
+		// MRU fast path: the commonest load of all hits the MRU way of
+		// this core's L1D set, skipping the AccessData call entirely.
+		// memLevel stays -1, which attributes like an L1 hit (both index
+		// attrBase in memAttr), and an L1 hit takes neither the MSHR nor
+		// the outstanding-miss path — so the fast path is bit-identical.
+		if hier.LoadMRU(st.core, addr) {
+			complete = issue + e.l1dLat
+			break
+		}
 		lat, lvl := hier.AccessData(st.core, addr, false)
 		memLevel = lvl
 		if lvl != cache.LevelL1 {
@@ -709,8 +835,12 @@ func (e *engine) step(st *simThread, cls trace.Class, dst, src1, src2 int8, pc, 
 		}
 	case trace.Store:
 		// Stores update coherence state but retire through the store
-		// buffer: one cycle of core latency.
-		hier.AccessData(st.core, addr, true)
+		// buffer: one cycle of core latency. The MRU fast path covers
+		// repeated stores to a privately-owned line (no state changes
+		// anywhere, so skipping the full call is bit-identical).
+		if !hier.StoreMRU(st.core, addr) {
+			hier.AccessData(st.core, addr, true)
+		}
 		complete = issue + 1
 	default:
 		complete = issue + execLat[cls]

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# perf_check.sh — perf-trajectory gate over the committed BENCH_*.json
+# records. Compares the newest record against the previous one and fails
+# when a tracked metric regressed by more than 5% without an acknowledging
+# ROADMAP note.
+#
+# Tracked metrics are the per-unit hot-path gauges the ROADMAP targets are
+# written against: ns/instr and ms/config. Wall-clock ns/op rows (the 1x
+# macro experiment runs in particular) are reported by bench.sh but not
+# gated — single-iteration timings are too noisy for a hard threshold. A
+# regression is acknowledged by mentioning `perf-regression(BenchmarkName)`
+# anywhere in ROADMAP.md, which keeps the gate honest (a deliberate
+# trade-off must be written down, not waved through).
+#
+# Usage:
+#   scripts/perf_check.sh                      # newest vs previous record
+#   scripts/perf_check.sh BENCH_6.json BENCH_5.json   # explicit pair
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - "$@" <<'PY'
+import glob, json, os, re, sys
+
+THRESHOLD = 0.05  # fail beyond +5% on a tracked metric
+
+def records():
+    paths = [p for p in glob.glob("BENCH_*.json")
+             if re.fullmatch(r"BENCH_\d+\.json", os.path.basename(p))]
+    return sorted(paths, key=lambda p: int(re.search(r"(\d+)", p).group(1)))
+
+args = sys.argv[1:]
+if args:
+    new_path = args[0]
+    old_path = args[1] if len(args) > 1 else None
+else:
+    recs = records()
+    new_path = recs[-1] if recs else None
+    old_path = recs[-2] if len(recs) > 1 else None
+if not new_path or not old_path:
+    print("perf_check: fewer than two BENCH_*.json records; nothing to gate")
+    sys.exit(0)
+
+def index(path):
+    return {b["name"]: b for b in json.load(open(path))["benchmarks"]}
+
+def metric(entry):
+    for key in ("ns_per_instr", "ms_per_config"):
+        if key in entry:
+            return key, entry[key]
+    return None, None
+
+old, new = index(old_path), index(new_path)
+roadmap = open("ROADMAP.md").read() if os.path.exists("ROADMAP.md") else ""
+
+failures = []
+print(f"perf_check: {new_path} vs {old_path} (gate: +{THRESHOLD:.0%} on the tracked metric)")
+for name in sorted(new):
+    if name not in old:
+        continue
+    key, nv = metric(new[name])
+    okey, ov = metric(old[name])
+    if key is None or key != okey or not ov:
+        continue
+    delta = (nv - ov) / ov
+    flag = ""
+    if delta > THRESHOLD:
+        if f"perf-regression({name})" in roadmap:
+            flag = "  (regression acknowledged in ROADMAP.md)"
+        else:
+            flag = "  << REGRESSION"
+            failures.append((name, key, ov, nv, delta))
+    print(f"  {name:<34} {key:<13} {ov:>10.4g} -> {nv:>10.4g}  {delta:+7.1%}{flag}")
+
+if failures:
+    print(f"\nperf_check: FAIL — {len(failures)} tracked metric(s) regressed >5% "
+          f"with no `perf-regression(<name>)` note in ROADMAP.md:", file=sys.stderr)
+    for name, key, ov, nv, delta in failures:
+        print(f"  {name}: {key} {ov:.4g} -> {nv:.4g} ({delta:+.1%})", file=sys.stderr)
+    sys.exit(1)
+print("perf_check: OK")
+PY

@@ -44,6 +44,7 @@ def s(v):       return f"{v/1e9:.2f} s"
 ROWS = [
     ("BenchmarkProfilerInstr",   "profiler, per instruction",            "ns_per_instr", nsinstr),
     ("BenchmarkSimStep",         "simulator core, per instruction",      "ns_per_instr", nsinstr),
+    ("BenchmarkSimStepSweep",    "simulator core, sweep mode (batched)", "ns_per_instr", nsinstr),
     ("BenchmarkCacheAccess",     "cache lookup + LRU update",            "ns_per_op",    ns),
     ("BenchmarkHierarchyData",   "full hierarchy data access",           "ns_per_op",    ns),
     ("BenchmarkGenerate",        "workload stream generation",           "ns_per_instr", nsinstr),
@@ -66,20 +67,33 @@ else:
     print(f"| benchmark | {base} |")
     print("|---|---|")
 
+def emit(label, nv, ov, fmt):
+    cell_new = fmt(nv)
+    if not old_path:
+        print(f"| {label} | {cell_new} |")
+    elif ov is None:
+        print(f"| {label} | {cell_new} | — | new |")
+    else:
+        delta = 100.0 * (nv - ov) / ov
+        print(f"| {label} | {cell_new} | {fmt(ov)} | {delta:+.0f}% |")
+
 for name, label, key, fmt in ROWS:
     n = new.get(name)
     if n is None:
         continue
-    nv = n.get(key, n["ns_per_op"])
-    cell_new = fmt(nv)
-    if not old_path:
-        print(f"| {label} | {cell_new} |")
-        continue
     o = old.get(name)
-    if o is None:
-        print(f"| {label} | {cell_new} | — | new |")
-        continue
-    ov = o.get(key, o["ns_per_op"])
-    delta = 100.0 * (nv - ov) / ov
-    print(f"| {label} | {cell_new} | {fmt(ov)} | {delta:+.0f}% |")
+    emit(label, n.get(key, n["ns_per_op"]),
+         o.get(key, o["ns_per_op"]) if o else None, fmt)
+    if name == "BenchmarkSweep16Regen":
+        # Derived row: how much one trace pass beats per-config
+        # regeneration across the sweep (higher is better).
+        def ratio(idx):
+            a, b = idx.get("BenchmarkSweep16"), idx.get("BenchmarkSweep16Regen")
+            if a and b and a.get("ms_per_config"):
+                return b["ms_per_config"] / a["ms_per_config"]
+            return None
+        nr = ratio(new)
+        if nr is not None:
+            emit("sweep speedup vs regeneration", nr, ratio(old),
+                 lambda v: f"{v:.2f}×")
 PY
