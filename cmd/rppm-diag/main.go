@@ -1,3 +1,7 @@
+// Command rppm-diag prints model-vs-simulation diagnosis tables for
+// benchmarks (the default mode, `rppm-diag [BENCH...]`) and inspects
+// persisted profile files from a serve spill directory
+// (`rppm-diag profile FILE.rpp...`).
 package main
 
 import (
@@ -7,12 +11,16 @@ import (
 	"rppm/internal/arch"
 	"rppm/internal/core"
 	"rppm/internal/interval"
+	"rppm/internal/profilefmt"
 	"rppm/internal/profiler"
 	"rppm/internal/sim"
 	"rppm/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		os.Exit(profileDump(os.Args[2:]))
+	}
 	cfg := arch.Base()
 	scale := 0.3
 	names := os.Args[1:]
@@ -57,4 +65,73 @@ func main() {
 			}
 		}
 	}
+}
+
+// profileDump inspects persisted profile files (format v2, .rpp): header,
+// checksum verdict, tier, and per-thread epoch/histogram summaries. Returns
+// the process exit code (non-zero when any file fails to decode).
+func profileDump(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rppm-diag profile FILE.rpp...")
+		return 2
+	}
+	bad := 0
+	for _, path := range paths {
+		if err := dumpOne(path); err != nil {
+			fmt.Printf("%s: %v\n", path, err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func dumpOne(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	// ReadFile verifies magic, version and CRC before any structural
+	// parsing, so reaching a profile means the checksum held.
+	prof, opts, err := profilefmt.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	tier := "full"
+	if prof.Compact {
+		tier = "compact"
+	}
+	fmt.Printf("%s: rppm profile v%d, %d bytes, CRC ok\n", path, profilefmt.FileVersion, fi.Size())
+	fmt.Printf("  workload %q, %d threads, %d instructions, %s tier\n",
+		prof.Name, prof.NumThreads, prof.TotalInstr(), tier)
+	fmt.Printf("  profiler options: window size %d, interval %d, coherence %v\n",
+		opts.WindowSize, opts.WindowInterval, !opts.NoCoherence)
+	cs, barriers, cv := prof.SyncCounts()
+	fmt.Printf("  sync: %d critical sections, %d barrier arrivals, %d condvar events\n", cs, barriers, cv)
+	for ti, th := range prof.Threads {
+		windows := 0
+		for _, e := range th.Epochs {
+			windows += len(e.Windows)
+		}
+		agg := th.Aggregate()
+		fmt.Printf("  thread %d: %d epochs, %d events, %d windows, %d instr\n",
+			ti, len(th.Epochs), len(th.Events), windows, th.TotalInstr())
+		for _, h := range []struct {
+			name string
+			rd   interface {
+				Count() uint64
+				InfiniteCount() uint64
+				Mean() float64
+				Max() int64
+			}
+		}{
+			{"privateRD", agg.PrivateRD}, {"globalRD", agg.GlobalRD}, {"instrRD", agg.InstrRD},
+		} {
+			fmt.Printf("    %-9s n=%d inf=%d mean=%.1f max=%d\n",
+				h.name, h.rd.Count(), h.rd.InfiniteCount(), h.rd.Mean(), h.rd.Max())
+		}
+	}
+	return nil
 }

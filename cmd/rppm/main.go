@@ -9,6 +9,7 @@
 //	rppm compare  -bench NAME [flags]  # MAIN/CRIT/RPPM vs simulation
 //	rppm bottle   -bench NAME [flags]  # bottle graphs (model vs simulation)
 //	rppm sweep    -bench NAME [flags]  # record once, simulate -configs N points
+//	rppm profile  -bench NAME [flags]  # persist a profile (.rpp) for serve spill dirs
 //	rppm serve    [flags]              # resident HTTP/JSON prediction service
 //
 // Common flags: -config (smallest|small|base|big|biggest), -scale, -seed,
@@ -30,6 +31,9 @@ import (
 
 	"rppm"
 	"rppm/internal/arch"
+	"rppm/internal/engine"
+	"rppm/internal/profilefmt"
+	"rppm/internal/profiler"
 	"rppm/internal/server"
 	"rppm/internal/textplot"
 )
@@ -51,6 +55,8 @@ func main() {
 	seed := fs.Uint64("seed", 1, "workload generation seed")
 	parallel := fs.Int("parallel", 0, "max concurrent profile/simulate jobs (0 = GOMAXPROCS)")
 	nconfigs := fs.Int("configs", 16, "design points for `rppm sweep` (Table IV + derived variants)")
+	traceDir := fs.String("trace-dir", "", "spill directory for `rppm profile` (writes the file name `rppm serve -trace-dir` reloads)")
+	outPath := fs.String("o", "", "explicit output file for `rppm profile` (overrides -trace-dir naming)")
 	batch := fs.Int("batch", 0, "configs simulated per batched sweep job (0 = auto from -configs and -parallel; results are identical at any width)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (predict and sweep; matches the /v1/predict and /v1/sweep wire formats)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -83,6 +89,17 @@ func main() {
 		if err := sweep(session, *benchName, *nconfigs, *batch, *scale, *seed); err != nil {
 			fatal(err)
 		}
+	case "profile":
+		if *benchName == "" {
+			fatal(fmt.Errorf("missing -bench; try `rppm list`"))
+		}
+		if *scale <= 0 {
+			fatal(fmt.Errorf("-scale must be positive, got %v", *scale))
+		}
+		session := rppm.NewEngine(rppm.EngineOptions{Workers: *parallel}).NewSession()
+		if err := writeProfile(session, *benchName, *scale, *seed, *traceDir, *outPath); err != nil {
+			fatal(err)
+		}
 	case "predict", "simulate", "compare", "bottle":
 		if *benchName == "" {
 			fatal(fmt.Errorf("missing -bench; try `rppm list`"))
@@ -111,7 +128,41 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle|sweep|serve} [-bench NAME] [-config base] [-configs 16] [-batch 0] [-scale 0.3] [-seed 1] [-parallel N] [-json]")
+	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle|sweep|profile|serve} [-bench NAME] [-config base] [-configs 16] [-batch 0] [-scale 0.3] [-seed 1] [-parallel N] [-json] [-trace-dir DIR] [-o FILE]")
+}
+
+// writeProfile collects a workload profile and persists it in the artifact
+// format v2 (.rpp) — into an explicit -o file, or into -trace-dir under the
+// exact name `rppm serve -trace-dir` looks up, so a serve spill directory
+// can be pre-seeded and a cold server never runs the profiler.
+func writeProfile(s *rppm.Session, benchName string, scale float64, seed uint64, traceDir, outPath string) error {
+	bench, err := rppm.BenchmarkByName(benchName)
+	if err != nil {
+		return err
+	}
+	prof, err := s.Profile(context.Background(), bench, seed, scale)
+	if err != nil {
+		return err
+	}
+	switch {
+	case outPath != "":
+		// keep as given
+	case traceDir != "":
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return err
+		}
+		outPath = server.ProfileSpillPath(traceDir, engine.ProfileKey{
+			Key: engine.Key{Bench: benchName, Seed: seed, Scale: scale},
+		})
+	default:
+		return fmt.Errorf("rppm profile needs -o FILE or -trace-dir DIR")
+	}
+	if err := profilefmt.WriteFile(outPath, prof, profiler.Options{}); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d threads, %d instructions, %s\n",
+		outPath, prof.NumThreads, prof.TotalInstr(), benchName)
+	return nil
 }
 
 // jsonPredict emits the prediction in the /v1/predict wire format, built

@@ -95,6 +95,36 @@ func (p *Profile) SetSite(id uint16, s SiteStats) {
 	p.invalidate()
 }
 
+// SiteRecord pairs a site id with its stats, for the profile persistence
+// codec (internal/profilefmt).
+type SiteRecord struct {
+	ID    uint16
+	Stats SiteStats
+}
+
+// ExportSites returns every recorded site in ascending id order. TakenP
+// values are carried verbatim, so a profile rebuilt from the records via
+// ProfileFromSites answers LinearEntropy/MissRate/Mispredicts bit-identically:
+// those accessors accumulate in sortedSites (ascending-id) order, which is
+// independent of the site table's slot layout.
+func (p *Profile) ExportSites() []SiteRecord {
+	recs := make([]SiteRecord, 0, p.sites.Len())
+	p.sites.Range(func(id uint64, s *SiteStats) {
+		recs = append(recs, SiteRecord{ID: uint16(id), Stats: *s})
+	})
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs
+}
+
+// ProfileFromSites builds a profile holding exactly the given site records.
+func ProfileFromSites(recs []SiteRecord) *Profile {
+	p := NewProfile()
+	for _, r := range recs {
+		p.sites.Put(uint64(r.ID), r.Stats)
+	}
+	return p
+}
+
 // invalidate drops the memoized sorted snapshot after a mutation. The load
 // check keeps the recording hot path to a read: the snapshot only exists
 // once predictions have started.

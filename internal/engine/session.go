@@ -26,13 +26,17 @@ type Key struct {
 	Scale float64
 }
 
-// progKey, recKey, profKey, simKey and predKey key the session caches. All
-// are comparable value types so they work as map keys directly.
+// progKey, recKey, ProfileKey, simKey and predKey key the session caches.
+// All are comparable value types so they work as map keys directly.
 type progKey struct{ Key }
 
 type recKey struct{ Key }
 
-type profKey struct {
+// ProfileKey identifies one cached profile: the workload key plus the
+// profiler options it was collected under. It is exported because the
+// profile persistence hooks (LoadProfile/StoreProfile) receive it — the
+// serving layer derives spill-file names from it.
+type ProfileKey struct {
 	Key
 	Opts profiler.Options
 }
@@ -82,6 +86,23 @@ type SessionOptions struct {
 	// recording, synchronously from the capturing goroutine — the serving
 	// layer's trace-dir spill hook. Loads do not re-store.
 	StoreRecorded func(Key, *trace.Recorded)
+
+	// LoadProfile, when non-nil, is consulted on a profile cache miss
+	// before paying the profiling pass, and again when promoting a
+	// demoted (compact) entry back to the full tier — the serving layer's
+	// profile reload hook (artifact format v2, internal/profilefmt). Only
+	// a full profile may be returned; compact files cannot seed the cache
+	// because predictions consume the sampled windows they drop. A
+	// successful load counts in Stats.Profiles.Loads, and no EventProfile
+	// is emitted: the profiler did not run. The loaded profile must drive
+	// bit-identical predictions to a fresh profiling pass (guaranteed by
+	// the profile format's differential round-trip test).
+	LoadProfile func(ProfileKey) (*profiler.Profile, bool)
+
+	// StoreProfile, when non-nil, receives every freshly collected
+	// profile, synchronously from the profiling goroutine. Loads do not
+	// re-store.
+	StoreProfile func(ProfileKey, *profiler.Profile)
 }
 
 // entry is one singleflight cache slot: the first requester computes, every
@@ -111,6 +132,30 @@ type Stats struct {
 	TraceLoads    uint64 // recordings loaded via LoadRecorded instead of captured
 	BytesResident int64  // accounted bytes of completed cache entries
 	Entries       int    // live cache entries, including in-flight ones
+
+	// Profiles breaks down the two-tier profile cache.
+	Profiles ProfileTierStats
+}
+
+// ProfileTierStats describe the session's two-tier profile cache. The
+// full tier holds complete profiles (sampled windows included — what
+// predictions consume); the compact tier holds profiles demoted under
+// eviction pressure to their per-thread aggregate form, roughly an order
+// of magnitude smaller. A profile request that lands on a compact entry
+// promotes it back to full — by re-reading the persisted profile when a
+// LoadProfile hook is wired, else by re-profiling.
+type ProfileTierStats struct {
+	Runs        uint64 // profiling passes executed (the expensive path)
+	Loads       uint64 // full profiles loaded via LoadProfile instead of profiled
+	FullHits    uint64 // profile requests served by a resident full entry
+	CompactHits uint64 // profile requests that landed on a demoted entry
+	Demotions   uint64 // full entries compacted in place under eviction pressure
+	Promotions  uint64 // compact entries restored to the full tier
+
+	FullBytes      int64 // accounted bytes of resident full profiles
+	CompactBytes   int64 // accounted bytes of resident compact profiles
+	FullEntries    int
+	CompactEntries int
 }
 
 // Session is a shared profile/simulation/prediction cache on top of an
@@ -134,6 +179,13 @@ type Session struct {
 	bytes   int64      // accounted size of completed entries
 
 	hits, misses, coalesced, evictions, traceLoads uint64
+	profStats                                      ProfileTierStats
+
+	// batchScratch pools simulateBatch's per-group result-assembly
+	// buffers (the claim list and the batch config slice) across a
+	// sweep's groups and across sweeps, one of the fixed per-config costs
+	// of a cold sweep.
+	batchScratch sync.Pool
 }
 
 // NewSession creates an empty unbounded session backed by the engine's
@@ -163,6 +215,7 @@ func (s *Session) Stats() Stats {
 		TraceLoads:    s.traceLoads,
 		BytesResident: s.bytes,
 		Entries:       len(s.entries),
+		Profiles:      s.profStats,
 	}
 }
 
@@ -218,6 +271,7 @@ func (s *Session) get(ctx context.Context, k any, fn func(context.Context) (any,
 			en.complete = true
 			en.size = entrySize(en.val)
 			s.bytes += en.size
+			s.accountProfileLocked(en.val, en.size, +1)
 			s.evictLocked()
 			s.mu.Unlock()
 			close(en.done)
@@ -275,9 +329,35 @@ func (s *Session) release(en *entry) {
 	s.mu.Unlock()
 }
 
+// accountProfileLocked maintains the per-tier byte/entry counters when a
+// completed profile entry enters (dir = +1) or leaves (dir = -1) the
+// accounted cache, or swaps tiers (one call per side). Non-profile values
+// are ignored.
+func (s *Session) accountProfileLocked(v any, size int64, dir int64) {
+	p, ok := v.(*profiler.Profile)
+	if !ok {
+		return
+	}
+	if p.Compact {
+		s.profStats.CompactBytes += dir * size
+		s.profStats.CompactEntries += int(dir)
+	} else {
+		s.profStats.FullBytes += dir * size
+		s.profStats.FullEntries += int(dir)
+	}
+}
+
 // evictLocked evicts least-recently-used unpinned entries until the
 // resident total fits the budget. Pinned entries are never in the LRU list,
 // so an entry an in-flight request holds is structurally unevictable.
+//
+// A full profile selected as the victim is not dropped: it is demoted in
+// place to its compact aggregate form (per-thread merged epochs, sampled
+// windows gone — typically ~10× smaller) and given a fresh recency, so
+// under pressure the cache keeps many workloads' aggregates warm instead
+// of a few workloads' everything. A compact entry selected as the victim
+// is evicted normally; each full entry can be demoted at most once, so
+// the loop always terminates.
 func (s *Session) evictLocked() {
 	if s.opts.MaxBytes <= 0 {
 		return
@@ -287,11 +367,27 @@ func (s *Session) evictLocked() {
 		if back == nil {
 			return
 		}
-		en := s.lru.Remove(back).(*entry)
+		en := back.Value.(*entry)
+		if p, ok := en.val.(*profiler.Profile); ok && !p.Compact {
+			cp := p.CompactCopy()
+			if sz := entrySize(cp); sz < en.size {
+				s.accountProfileLocked(p, en.size, -1)
+				s.bytes += sz - en.size
+				en.val, en.size = cp, sz
+				s.accountProfileLocked(cp, sz, +1)
+				s.profStats.Demotions++
+				s.lru.MoveToFront(back)
+				continue
+			}
+			// Degenerate case: the compact form is no smaller (e.g. a
+			// windowless single-epoch profile). Evict outright below.
+		}
+		s.lru.Remove(back)
 		en.elem = nil
 		en.evicted = true
 		delete(s.entries, en.key)
 		s.bytes -= en.size
+		s.accountProfileLocked(en.val, en.size, -1)
 		s.evictions++
 	}
 }
@@ -438,30 +534,110 @@ func (s *Session) ProfileOpts(ctx context.Context, bm workload.Benchmark, seed u
 
 // profilePinned is ProfileOpts with the cache entry pinned for the caller.
 // The recorded trace stays pinned while the profiler replays it.
+//
+// The returned profile is always a full (prediction-capable) one. When the
+// cache hit lands on an entry demoted to the compact tier, the entry is
+// promoted back before returning: the full profile is re-obtained — from
+// the LoadProfile hook when wired (a disk re-read, orders of magnitude
+// cheaper than profiling), else by re-running the profiler — and swapped
+// into the entry. The entry stays pinned throughout, so eviction pressure
+// cannot remove it mid-promotion; concurrent promoters race benignly (the
+// first swap wins, later ones adopt it).
 func (s *Session) profilePinned(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, opts profiler.Options) (*profiler.Profile, func(), error) {
-	v, unpin, err := s.pinned(ctx, profKey{Key{bm.Name, seed, scale}, opts}, func(ctx context.Context) (any, error) {
-		prog, unpinRec, err := s.recordedPinned(ctx, bm, seed, scale)
-		if err != nil {
-			return nil, err
-		}
-		defer unpinRec()
-		if err := s.eng.acquire(ctx); err != nil {
-			return nil, err
-		}
-		defer s.eng.release()
-		start := time.Now()
-		prof, err := profiler.Run(prog, opts)
-		if err != nil {
-			return nil, err
-		}
-		s.eng.emit(Event{Kind: EventProfile, Bench: bm.Name, Seed: seed, Scale: scale,
-			Duration: time.Since(start)})
-		return prof, nil
+	pk := ProfileKey{Key{bm.Name, seed, scale}, opts}
+	computed := false
+	en, err := s.get(ctx, pk, func(ctx context.Context) (any, error) {
+		computed = true
+		return s.profileValue(ctx, bm, seed, scale, opts, pk)
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return v.(*profiler.Profile), unpin, nil
+	if en.err != nil {
+		s.release(en)
+		return nil, nil, en.err
+	}
+	prof := en.val.(*profiler.Profile)
+	if !prof.Compact {
+		if !computed {
+			s.mu.Lock()
+			s.profStats.FullHits++
+			s.mu.Unlock()
+		}
+		return prof, func() { s.release(en) }, nil
+	}
+
+	s.mu.Lock()
+	s.profStats.CompactHits++
+	s.mu.Unlock()
+	v, err := s.profileValue(ctx, bm, seed, scale, opts, pk)
+	if err != nil {
+		s.release(en)
+		return nil, nil, err
+	}
+	full := v.(*profiler.Profile)
+	s.mu.Lock()
+	cur := en.val.(*profiler.Profile)
+	if cur.Compact {
+		if !en.evicted {
+			sz := entrySize(full)
+			s.accountProfileLocked(cur, en.size, -1)
+			s.bytes += sz - en.size
+			en.size = sz
+			s.accountProfileLocked(full, sz, +1)
+		}
+		en.val = full
+		s.profStats.Promotions++
+		s.evictLocked()
+	} else {
+		full = cur // a concurrent promoter already swapped the full profile in
+	}
+	s.mu.Unlock()
+	return full, func() { s.release(en) }, nil
+}
+
+// profileValue obtains a full profile for pk: the persistence hook first,
+// then the profiling pass over the recorded trace. Shared by the cache-miss
+// path and compact-entry promotion.
+func (s *Session) profileValue(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, opts profiler.Options, pk ProfileKey) (any, error) {
+	if s.opts.LoadProfile != nil {
+		// The reload runs under an engine slot like any other artifact
+		// I/O, but costs no generation and no profiling pass.
+		if err := s.eng.acquire(ctx); err != nil {
+			return nil, err
+		}
+		prof, ok := s.opts.LoadProfile(pk)
+		s.eng.release()
+		if ok && !prof.Compact {
+			s.mu.Lock()
+			s.profStats.Loads++
+			s.mu.Unlock()
+			return prof, nil
+		}
+	}
+	prog, unpinRec, err := s.recordedPinned(ctx, bm, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	defer unpinRec()
+	if err := s.eng.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.eng.release()
+	start := time.Now()
+	prof, err := profiler.Run(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.profStats.Runs++
+	s.mu.Unlock()
+	s.eng.emit(Event{Kind: EventProfile, Bench: bm.Name, Seed: seed, Scale: scale,
+		Duration: time.Since(start)})
+	if s.opts.StoreProfile != nil {
+		s.opts.StoreProfile(pk, prof)
+	}
+	return prof, nil
 }
 
 // Simulate returns the cycle-level reference simulation of (bm, seed,
@@ -553,6 +729,19 @@ func (s *Session) SimulatePredictSweep(ctx context.Context, bm workload.Benchmar
 // width (see SimulateSweepBatch).
 func (s *Session) SimulatePredictSweepBatch(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfgs []arch.Config, batch int) ([]*sim.Result, []*core.Prediction, error) {
 	return s.sweep(ctx, bm, seed, scale, cfgs, true, batch)
+}
+
+// claim records one simulation cache slot a batch group claimed for
+// computation; batchScratch is the pooled per-group assembly scratch (see
+// Session.batchScratch).
+type claim struct {
+	idx int
+	en  *entry
+}
+
+type batchScratch struct {
+	claims []claim
+	cfgs   []arch.Config
 }
 
 // maxBatchWidth caps the automatic batch width: beyond a handful of
@@ -686,11 +875,21 @@ func (s *Session) sweep(ctx context.Context, bm workload.Benchmark, seed uint64,
 // usual. One EventSimulate is emitted per computed configuration with the
 // batch's amortized duration.
 func (s *Session) simulateBatch(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfgs []arch.Config, out []*sim.Result, progFn func() trace.Program) error {
-	type claim struct {
-		idx int
-		en  *entry
+	sc, _ := s.batchScratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
 	}
-	var claimed []claim
+	claimed := sc.claims[:0]
+	batchCfgs := sc.cfgs[:0]
+	defer func() {
+		// Clear the entry pointers so the pooled scratch never keeps a
+		// finished sweep's cache entries reachable.
+		for i := range claimed {
+			claimed[i] = claim{}
+		}
+		sc.claims, sc.cfgs = claimed[:0], batchCfgs[:0]
+		s.batchScratch.Put(sc)
+	}()
 	s.mu.Lock()
 	for i := range cfgs {
 		if cfgs[i].Validate() != nil {
@@ -712,9 +911,8 @@ func (s *Session) simulateBatch(ctx context.Context, bm workload.Benchmark, seed
 	s.mu.Unlock()
 
 	if len(claimed) > 0 {
-		batchCfgs := make([]arch.Config, len(claimed))
-		for j, c := range claimed {
-			batchCfgs[j] = cfgs[c.idx]
+		for _, c := range claimed {
+			batchCfgs = append(batchCfgs, cfgs[c.idx])
 		}
 		results, err := func() ([]*sim.Result, error) {
 			if err := s.eng.acquire(ctx); err != nil {

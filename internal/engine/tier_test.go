@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rppm/internal/arch"
+	"rppm/internal/profilefmt"
+	"rppm/internal/profiler"
+)
+
+// profileStore is a serialized in-memory stand-in for the serving layer's
+// profile spill directory: profiles round-trip through the on-disk format,
+// so a load exercises exactly what a restarted server would.
+type profileStore struct {
+	mu    sync.Mutex
+	files map[ProfileKey][]byte
+}
+
+func newProfileStore() *profileStore {
+	return &profileStore{files: make(map[ProfileKey][]byte)}
+}
+
+func (ps *profileStore) store(t *testing.T) func(ProfileKey, *profiler.Profile) {
+	return func(k ProfileKey, p *profiler.Profile) {
+		data, err := profilefmt.Encode(p, k.Opts)
+		if err != nil {
+			t.Errorf("StoreProfile encode: %v", err)
+			return
+		}
+		ps.mu.Lock()
+		ps.files[k] = data
+		ps.mu.Unlock()
+	}
+}
+
+func (ps *profileStore) load(t *testing.T) func(ProfileKey) (*profiler.Profile, bool) {
+	return func(k ProfileKey) (*profiler.Profile, bool) {
+		ps.mu.Lock()
+		data, ok := ps.files[k]
+		ps.mu.Unlock()
+		if !ok {
+			return nil, false
+		}
+		p, _, err := profilefmt.Decode(data)
+		if err != nil {
+			t.Errorf("LoadProfile decode: %v", err)
+			return nil, false
+		}
+		return p, true
+	}
+}
+
+// TestProfilePersistenceHooks is the tentpole's acceptance test at the
+// engine layer: a session wired to a profile store serves a prediction for
+// a previously-profiled key with ZERO profiler runs, and the prediction is
+// bit-identical to the freshly-profiled one.
+func TestProfilePersistenceHooks(t *testing.T) {
+	bm := mustBench(t, "kmeans")
+	ctx := context.Background()
+	target := arch.Base()
+	store := newProfileStore()
+
+	c1 := newCounter()
+	s1 := New(Options{Workers: 2, Progress: c1.sink}).NewSessionWith(SessionOptions{
+		StoreProfile: store.store(t),
+	})
+	want, err := s1.Predict(ctx, bm, testSeed, testScale, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c1.get(EventProfile); n != 1 {
+		t.Fatalf("first session profiled %d times, want 1", n)
+	}
+	if st := s1.Stats(); st.Profiles.Runs != 1 || st.Profiles.Loads != 0 {
+		t.Fatalf("first session tier stats: %+v", st.Profiles)
+	}
+	if len(store.files) != 1 {
+		t.Fatalf("StoreProfile saw %d profiles, want 1", len(store.files))
+	}
+
+	// A fresh session (a restarted server, a cold replica) with the load
+	// hook: the profiler must not run at all.
+	c2 := newCounter()
+	s2 := New(Options{Workers: 2, Progress: c2.sink}).NewSessionWith(SessionOptions{
+		LoadProfile: store.load(t),
+	})
+	got, err := s2.Predict(ctx, bm, testSeed, testScale, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("prediction from persisted profile diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if n := c2.get(EventProfile); n != 0 {
+		t.Errorf("profiler ran %d times despite persisted profile", n)
+	}
+	if n := c2.get(EventRecord); n != 0 {
+		t.Errorf("trace captured %d times despite persisted profile", n)
+	}
+	st := s2.Stats()
+	if st.Profiles.Runs != 0 {
+		t.Errorf("Profiles.Runs = %d, want 0", st.Profiles.Runs)
+	}
+	if st.Profiles.Loads != 1 {
+		t.Errorf("Profiles.Loads = %d, want 1", st.Profiles.Loads)
+	}
+	if st.Profiles.FullEntries != 1 || st.Profiles.FullBytes <= 0 {
+		t.Errorf("full tier not accounted: %+v", st.Profiles)
+	}
+
+	// Warm repeat: a full-tier hit, no further load.
+	if _, err := s2.Predict(ctx, bm, testSeed, testScale, target); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Profile(ctx, bm, testSeed, testScale); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Profiles.Loads != 1 || st.Profiles.FullHits == 0 {
+		t.Errorf("warm repeat tier stats: %+v", st.Profiles)
+	}
+}
+
+// TestProfileDemotionAndPromotion drives a budgeted session into eviction
+// pressure, checks the full profile demotes to the compact tier instead of
+// vanishing, and checks the next profile consumer promotes it back —
+// through the persisted profile, not a re-profile — with bit-identical
+// predictions throughout.
+func TestProfileDemotionAndPromotion(t *testing.T) {
+	bm := mustBench(t, "kmeans")
+	ctx := context.Background()
+	target := arch.Base()
+	store := newProfileStore()
+
+	want, err := New(Options{Workers: 2}).NewSession().Predict(ctx, bm, testSeed, testScale, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newCounter()
+	s := New(Options{Workers: 2, Progress: c.sink}).NewSessionWith(SessionOptions{
+		MaxBytes:     1, // everything over budget: maximal pressure
+		LoadProfile:  store.load(t),
+		StoreProfile: store.store(t),
+	})
+	got, err := s.Predict(ctx, bm, testSeed, testScale, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("budgeted prediction diverged from unbounded session")
+	}
+	st := s.Stats()
+	if st.Profiles.Runs != 1 {
+		t.Fatalf("Profiles.Runs = %d, want 1", st.Profiles.Runs)
+	}
+	if st.Profiles.Demotions == 0 {
+		t.Fatalf("no demotion under a 1-byte budget: %+v", st.Profiles)
+	}
+	// Under a 1-byte budget the demoted compact entry is itself evicted
+	// on the next pressure round; what must never happen is a second
+	// profiler run while the persisted profile exists.
+	got2, err := s.Predict(ctx, bm, testSeed, testScale, arch.SweepSpace(2)[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 == nil {
+		t.Fatal("nil prediction")
+	}
+	if st := s.Stats(); st.Profiles.Runs != 1 {
+		t.Errorf("profiler re-ran under pressure despite persisted profile: %+v", st.Profiles)
+	}
+	if n := c.get(EventProfile); n != 1 {
+		t.Errorf("EventProfile emitted %d times, want 1", n)
+	}
+}
+
+// TestCompactTierServesPromotion pins the budget so the full profile
+// demotes but the compact entry stays resident, then requests the profile
+// again: the compact hit must be promoted in place (same entry), counted,
+// and yield a full profile.
+func TestCompactTierServesPromotion(t *testing.T) {
+	bm := mustBench(t, "kmeans")
+	ctx := context.Background()
+	store := newProfileStore()
+
+	// First, learn the sizes involved with an unbounded probe session.
+	probe := New(Options{Workers: 2}).NewSessionWith(SessionOptions{StoreProfile: store.store(t)})
+	full, err := probe.Profile(ctx, bm, testSeed, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compactSize := entrySize(full.CompactCopy())
+
+	// Budget: fits the compact profile (plus slack for the failure-free
+	// entries around it) but not the full one.
+	c := newCounter()
+	s := New(Options{Workers: 2, Progress: c.sink}).NewSessionWith(SessionOptions{
+		MaxBytes:    compactSize + entrySize(nil)*4,
+		LoadProfile: store.load(t),
+	})
+	if _, err := s.Profile(ctx, bm, testSeed, testScale); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Profiles.Demotions != 1 || st.Profiles.CompactEntries != 1 || st.Profiles.FullEntries != 0 {
+		t.Fatalf("after release, want exactly one compact resident entry: %+v", st.Profiles)
+	}
+	if st.Profiles.CompactBytes != compactSize {
+		t.Errorf("compact tier bytes %d, want %d", st.Profiles.CompactBytes, compactSize)
+	}
+
+	p, err := s.Profile(ctx, bm, testSeed, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Compact {
+		t.Fatal("Profile returned a compact profile")
+	}
+	st = s.Stats()
+	if st.Profiles.CompactHits != 1 || st.Profiles.Promotions != 1 {
+		t.Errorf("promotion not counted: %+v", st.Profiles)
+	}
+	// Both the initial miss and the promotion were served by the
+	// persisted profile: the profiler never ran in this session.
+	if st.Profiles.Runs != 0 || st.Profiles.Loads != 2 {
+		t.Errorf("promotion should re-read, not re-profile: %+v", st.Profiles)
+	}
+	if n := c.get(EventProfile); n != 0 {
+		t.Errorf("EventProfile emitted %d times, want 0", n)
+	}
+}
+
+// TestPromotionWithoutHooksReprofiles: with no persistence hooks wired, a
+// compact hit falls back to re-running the profiler — correct, just slower.
+func TestPromotionWithoutHooksReprofiles(t *testing.T) {
+	bm := mustBench(t, "kmeans")
+	ctx := context.Background()
+
+	probe := New(Options{Workers: 2}).NewSession()
+	full, err := probe.Profile(ctx, bm, testSeed, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newCounter()
+	s := New(Options{Workers: 2, Progress: c.sink}).NewSessionWith(SessionOptions{
+		MaxBytes: entrySize(full.CompactCopy()) + entrySize(nil)*4,
+	})
+	if _, err := s.Profile(ctx, bm, testSeed, testScale); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Profile(ctx, bm, testSeed, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Compact {
+		t.Fatal("Profile returned a compact profile")
+	}
+	st := s.Stats()
+	if st.Profiles.Runs != 2 || st.Profiles.Promotions != 1 {
+		t.Errorf("hookless promotion stats: %+v", st.Profiles)
+	}
+	if n := c.get(EventProfile); n != 2 {
+		t.Errorf("EventProfile emitted %d times, want 2", n)
+	}
+}

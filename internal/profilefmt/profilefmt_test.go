@@ -1,0 +1,304 @@
+package profilefmt
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rppm/internal/arch"
+	"rppm/internal/core"
+	"rppm/internal/profiler"
+	"rppm/internal/stats"
+	"rppm/internal/workload"
+)
+
+func profileBench(t testing.TB, name string, seed uint64, scale float64, opts profiler.Options) *profiler.Profile {
+	t.Helper()
+	bm, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := profiler.Run(bm.Build(seed, scale), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func encodeDecode(t testing.TB, p *profiler.Profile, opts profiler.Options) (*profiler.Profile, profiler.Options, []byte) {
+	t.Helper()
+	data, err := Encode(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotOpts, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, gotOpts, data
+}
+
+// TestRoundTripBitIdenticalPrediction is the differential guard the format
+// exists for: a decoded profile must drive predictions bit-identical to the
+// in-memory original, across multiple target configurations.
+func TestRoundTripBitIdenticalPrediction(t *testing.T) {
+	opts := profiler.Options{WindowSize: 256, WindowInterval: 2048}
+	orig := profileBench(t, "kmeans", 3, 0.05, opts)
+	dec, decOpts, _ := encodeDecode(t, orig, opts)
+
+	if decOpts != opts {
+		t.Fatalf("options round-trip: got %+v want %+v", decOpts, opts)
+	}
+	if dec.Compact {
+		t.Fatal("full profile decoded as compact")
+	}
+	cfgs := append(arch.SweepSpace(4), arch.Base())
+	for _, cfg := range cfgs {
+		want, err := core.Predict(orig, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.Predict(dec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("config %s: prediction from decoded profile diverged:\n got %+v\nwant %+v", cfg.Name, got, want)
+		}
+	}
+	for _, pred := range []func(*profiler.Profile, arch.Config) (float64, error){core.PredictMain, core.PredictCrit} {
+		want, err := pred(orig, arch.Base())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pred(dec, arch.Base())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("baseline prediction diverged: %v vs %v", got, want)
+		}
+	}
+}
+
+// TestRoundTripStructure checks the decoded structure in detail: counters,
+// histogram queries at many probe points (bitwise), events and windows.
+func TestRoundTripStructure(t *testing.T) {
+	opts := profiler.Options{}
+	orig := profileBench(t, "hotspot", 2, 0.05, opts)
+	dec, _, data := encodeDecode(t, orig, opts)
+
+	if dec.Name != orig.Name || dec.NumThreads != orig.NumThreads {
+		t.Fatalf("identity mismatch: %q/%d vs %q/%d", dec.Name, dec.NumThreads, orig.Name, orig.NumThreads)
+	}
+	if dec.TotalInstr() != orig.TotalInstr() {
+		t.Fatalf("TotalInstr %d vs %d", dec.TotalInstr(), orig.TotalInstr())
+	}
+	for ti := range orig.Threads {
+		ot, dt := orig.Threads[ti], dec.Threads[ti]
+		if !reflect.DeepEqual(ot.Events, dt.Events) {
+			t.Fatalf("thread %d events differ", ti)
+		}
+		if len(ot.Epochs) != len(dt.Epochs) {
+			t.Fatalf("thread %d: %d vs %d epochs", ti, len(dt.Epochs), len(ot.Epochs))
+		}
+		for ei := range ot.Epochs {
+			oe, de := ot.Epochs[ei], dt.Epochs[ei]
+			if oe.Instr != de.Instr || oe.Mix != de.Mix || oe.Loads != de.Loads ||
+				oe.Stores != de.Stores || oe.ILineAccesses != de.ILineAccesses ||
+				oe.CoherenceInvalidations != de.CoherenceInvalidations {
+				t.Fatalf("thread %d epoch %d counters differ", ti, ei)
+			}
+			if !reflect.DeepEqual(oe.Windows, de.Windows) {
+				t.Fatalf("thread %d epoch %d windows differ", ti, ei)
+			}
+			if oe.Branch.NumSites() != de.Branch.NumSites() ||
+				math.Float64bits(oe.Branch.LinearEntropy()) != math.Float64bits(de.Branch.LinearEntropy()) ||
+				math.Float64bits(oe.Branch.MissRate(4096)) != math.Float64bits(de.Branch.MissRate(4096)) {
+				t.Fatalf("thread %d epoch %d branch profile differs", ti, ei)
+			}
+			for hi, pair := range [][2]*stats.Histogram{
+				{oe.PrivateRD, de.PrivateRD}, {oe.GlobalRD, de.GlobalRD}, {oe.InstrRD, de.InstrRD},
+			} {
+				o, d := pair[0], pair[1]
+				if o.Count() != d.Count() || o.InfiniteCount() != d.InfiniteCount() ||
+					o.Max() != d.Max() ||
+					math.Float64bits(o.Mean()) != math.Float64bits(d.Mean()) {
+					t.Fatalf("thread %d epoch %d histogram %d summary differs", ti, ei, hi)
+				}
+				for probe := int64(0); probe < 1<<22; probe = probe*3 + 1 {
+					if math.Float64bits(o.CountAbove(probe)) != math.Float64bits(d.CountAbove(probe)) {
+						t.Fatalf("thread %d epoch %d histogram %d CountAbove(%d) differs", ti, ei, hi, probe)
+					}
+				}
+			}
+		}
+	}
+	// Determinism of the encoding itself: encoding the decoded profile
+	// reproduces the file byte for byte.
+	data2, err := Encode(dec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-encoding a decoded profile is not byte-stable")
+	}
+}
+
+// TestCompactRoundTrip: the compact (demoted) form serializes with the tier
+// flag, drops windows, and keeps aggregates intact.
+func TestCompactRoundTrip(t *testing.T) {
+	opts := profiler.Options{}
+	full := profileBench(t, "srad", 2, 0.05, opts)
+	compact := full.CompactCopy()
+	if !compact.Compact {
+		t.Fatal("CompactCopy not marked compact")
+	}
+	if compact.TotalInstr() != full.TotalInstr() {
+		t.Fatalf("compact TotalInstr %d vs %d", compact.TotalInstr(), full.TotalInstr())
+	}
+	cs, b, cv := full.SyncCounts()
+	ccs, cb, ccv := compact.SyncCounts()
+	if cs != ccs || b != cb || cv != ccv {
+		t.Fatal("compact copy changed sync counts")
+	}
+	if compact.SizeBytes() >= full.SizeBytes() {
+		t.Fatalf("compact copy (%d B) not smaller than full (%d B)", compact.SizeBytes(), full.SizeBytes())
+	}
+
+	dec, _, _ := encodeDecode(t, compact, opts)
+	if !dec.Compact {
+		t.Fatal("compact flag lost in round trip")
+	}
+	if dec.TotalInstr() != compact.TotalInstr() {
+		t.Fatal("compact round trip changed instruction count")
+	}
+	for ti := range compact.Threads {
+		if len(dec.Threads[ti].Epochs) != 1 || len(dec.Threads[ti].Epochs[0].Windows) != 0 {
+			t.Fatalf("thread %d: compact profile has unexpected shape", ti)
+		}
+		o, d := compact.Threads[ti].Epochs[0], dec.Threads[ti].Epochs[0]
+		if math.Float64bits(o.PrivateRD.Mean()) != math.Float64bits(d.PrivateRD.Mean()) {
+			t.Fatalf("thread %d: compact aggregate histogram differs", ti)
+		}
+	}
+}
+
+func TestHeaderDecode(t *testing.T) {
+	opts := profiler.Options{WindowSize: 128, WindowInterval: 1024, NoCoherence: true}
+	p := profileBench(t, "swaptions", 2, 0.03, opts)
+	data, err := Encode(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := DecodeHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != FileVersion || h.Compact || h.Name != p.Name ||
+		h.Opts != opts || h.NumThreads != p.NumThreads {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	opts := profiler.Options{}
+	p := profileBench(t, "swaptions", 1, 0.03, opts)
+	path := filepath.Join(t.TempDir(), "p.rpp")
+	if err := WriteFile(path, p, opts); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalInstr() != p.TotalInstr() {
+		t.Fatal("file round trip changed instruction count")
+	}
+	// Every truncated prefix must be rejected cleanly.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n += 1 + n/16 {
+		if _, _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes not detected", n, len(data))
+		}
+	}
+}
+
+// TestCorruptionRejected flips bytes across the file: every corruption must
+// be rejected by the checksum (or a structural bound), never decoded.
+func TestCorruptionRejected(t *testing.T) {
+	opts := profiler.Options{}
+	p := profileBench(t, "swaptions", 1, 0.03, opts)
+	data, err := Encode(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(data)/256 + 1
+	for off := 0; off < len(data); off += step {
+		cp := append([]byte(nil), data...)
+		cp[off] ^= 0x5a
+		if _, _, err := Decode(cp); err == nil {
+			t.Fatalf("corruption at offset %d/%d not detected", off, len(data))
+		}
+	}
+}
+
+func TestEnvelopeErrors(t *testing.T) {
+	opts := profiler.Options{}
+	p := profileBench(t, "swaptions", 1, 0.03, opts)
+	data, err := Encode(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte(nil), data...)
+	copy(bad, "RPPMTRCE") // a v1 trace magic is not a profile
+	if _, _, err := Decode(bad); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[8] = 3 // future version
+	if _, _, err := Decode(bad); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := DecodeHeader(bad); err == nil {
+		t.Fatal("DecodeHeader accepted future version")
+	}
+}
+
+// FuzzDecode: arbitrary bytes must never panic the decoder. Seeds include
+// a valid encoding so the fuzzer mutates from real structure.
+func FuzzDecode(f *testing.F) {
+	opts := profiler.Options{}
+	p := profileBench(f, "swaptions", 1, 0.02, opts)
+	data, err := Encode(p, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:16])
+	f.Add([]byte(fileMagic))
+	compact, err := Encode(p.CompactCopy(), opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(compact)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		dec, _, err := Decode(b)
+		if err != nil {
+			return
+		}
+		// A successful decode (only reachable with a correct checksum)
+		// must yield a structurally sound, re-encodable profile.
+		if _, err := Encode(dec, profiler.Options{}); err != nil {
+			t.Fatalf("decoded profile does not re-encode: %v", err)
+		}
+	})
+}

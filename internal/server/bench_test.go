@@ -59,6 +59,36 @@ func BenchmarkServePredictCold(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
+// BenchmarkServePredictColdPersisted measures the restart cold path the
+// persisted-profile tier exists for: every iteration runs against a fresh
+// server over a pre-populated trace dir, so the first request reloads the
+// profile from disk instead of paying record+profile. The gap to
+// BenchmarkServePredictCold is the amortized profiling pass; the target is
+// sub-millisecond service.
+func BenchmarkServePredictColdPersisted(b *testing.B) {
+	dir := b.TempDir()
+	warm := New(Config{Workers: 2, TraceDir: dir})
+	ts := httptest.NewServer(warm.Handler())
+	benchGet(b, ts.URL+"/v1/predict?bench=swaptions&scale=0.05&seed=1")
+	ts.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv := New(Config{Workers: 2, TraceDir: dir})
+		ts := httptest.NewServer(srv.Handler())
+		b.StartTimer()
+		benchGet(b, ts.URL+"/v1/predict?bench=swaptions&scale=0.05&seed=1")
+		b.StopTimer()
+		if st := srv.Session().Stats(); st.Profiles.Runs != 0 {
+			b.Fatalf("cold-persisted request ran the profiler %d times", st.Profiles.Runs)
+		}
+		ts.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
 // BenchmarkServeSweepWarm serves a cached 8-point sweep.
 func BenchmarkServeSweepWarm(b *testing.B) {
 	srv := New(Config{Workers: 2})

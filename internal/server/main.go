@@ -22,7 +22,7 @@ func Main(args []string) int {
 	addr := fs.String("addr", "127.0.0.1:8344", "listen address")
 	parallel := fs.Int("parallel", 0, "max concurrent profile/simulate jobs (0 = GOMAXPROCS)")
 	maxBytes := fs.String("max-bytes", "0", "resident cache budget, e.g. 256MiB (0 = unbounded)")
-	traceDir := fs.String("trace-dir", "", "directory for persisted trace files (spill on capture, reload on miss; empty = memory only)")
+	traceDir := fs.String("trace-dir", "", "directory for persisted traces (.rpt) and profiles (.rpp): spill on capture, reload on miss — a restart never re-profiles a seen key (empty = memory only)")
 	maxInflight := fs.Int("max-inflight", DefaultMaxInflight, "admitted concurrent predict/sweep requests before 429")
 	if err := fs.Parse(args); err != nil {
 		return 2

@@ -18,6 +18,8 @@ import (
 
 	"rppm/internal/arch"
 	"rppm/internal/engine"
+	"rppm/internal/profilefmt"
+	"rppm/internal/profiler"
 	"rppm/internal/stats"
 	"rppm/internal/trace"
 	"rppm/internal/workload"
@@ -33,9 +35,12 @@ type Config struct {
 	// profiles and results; 0 = unbounded. Entries held by in-flight
 	// requests are never evicted.
 	MaxBytes int64
-	// TraceDir, when non-empty, persists captured recordings as versioned
-	// trace files (trace.FileVersion) and reloads them on later cache
-	// misses — including across server restarts.
+	// TraceDir, when non-empty, persists captured artifacts as versioned
+	// files and reloads them on later cache misses — including across
+	// server restarts: recorded traces (trace.FileVersion, .rpt) and
+	// collected profiles (profilefmt.FileVersion, .rpp). A restart serving
+	// a previously-seen key reloads the persisted profile instead of
+	// re-running the profiling pass.
 	TraceDir string
 	// MaxInflight bounds admitted concurrent /v1/predict and /v1/sweep
 	// requests (executing plus queued on the engine pool); excess requests
@@ -102,6 +107,8 @@ func New(cfg Config) *Server {
 	if cfg.TraceDir != "" {
 		opts.LoadRecorded = s.loadTrace
 		opts.StoreRecorded = s.storeTrace
+		opts.LoadProfile = s.loadProfile
+		opts.StoreProfile = s.storeProfile
 	}
 	s.sess = s.eng.NewSessionWith(opts)
 
@@ -151,6 +158,54 @@ func (s *Server) storeTrace(k engine.Key, rec *trace.Recorded) {
 	if err := rec.WriteFile(s.tracePath(k)); err != nil {
 		// Persistence is an optimization: serving continues from memory.
 		s.logf("trace spill %s: %v", s.tracePath(k), err)
+	}
+}
+
+// ProfileSpillPath returns the file a profile for pk is persisted under in
+// a trace dir: the tracePath scheme extended with the profiler options the
+// profile was collected under, so the same workload profiled with different
+// window parameters maps to distinct files. Exported so `rppm profile` can
+// pre-seed a spill directory with exactly the names the server will look up.
+func ProfileSpillPath(dir string, pk engine.ProfileKey) string {
+	nc := 0
+	if pk.Opts.NoCoherence {
+		nc = 1
+	}
+	name := fmt.Sprintf("%s_%d_%016x_w%d_i%d_nc%d.rpp",
+		pk.Bench, pk.Seed, math.Float64bits(pk.Scale),
+		pk.Opts.WindowSize, pk.Opts.WindowInterval, nc)
+	return filepath.Join(dir, name)
+}
+
+func (s *Server) profilePath(pk engine.ProfileKey) string {
+	return ProfileSpillPath(s.cfg.TraceDir, pk)
+}
+
+// loadProfile reloads a persisted profile on a cache miss or a compact-tier
+// promotion: the path that lets a restarted replica serve cold predictions
+// without ever running the profiling pass.
+func (s *Server) loadProfile(pk engine.ProfileKey) (*profiler.Profile, bool) {
+	path := s.profilePath(pk)
+	prof, opts, err := profilefmt.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.logf("profile reload %s: %v", path, err)
+		}
+		return nil, false
+	}
+	// The filename encodes the key, but trust only the file contents: a
+	// renamed or hand-placed file must not serve the wrong workload.
+	if prof.Name != pk.Bench || opts != pk.Opts || prof.Compact {
+		s.logf("profile reload %s: contents (%q, %+v, compact=%v) do not match key, ignoring",
+			path, prof.Name, opts, prof.Compact)
+		return nil, false
+	}
+	return prof, true
+}
+
+func (s *Server) storeProfile(pk engine.ProfileKey, prof *profiler.Profile) {
+	if err := profilefmt.WriteFile(s.profilePath(pk), prof, pk.Opts); err != nil {
+		s.logf("profile spill %s: %v", s.profilePath(pk), err)
 	}
 }
 

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -258,6 +260,116 @@ func TestTraceDirPersistence(t *testing.T) {
 	if got.Cycles != want.Cycles || *got.SimCycles != *want.SimCycles {
 		t.Errorf("prediction from reloaded trace diverged: %v/%v vs %v/%v",
 			got.Cycles, *got.SimCycles, want.Cycles, *want.SimCycles)
+	}
+}
+
+// TestProfilePersistenceAcrossRestart is the tentpole's serving-layer
+// acceptance test: a restarted server over the same trace dir answers a
+// previously-seen predict request byte-for-byte identically without running
+// the profiler at all — the persisted profile (format v2) alone serves it.
+func TestProfilePersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	const query = "/v1/predict?bench=swaptions&scale=0.05&seed=1&baselines=1"
+
+	getBytes := func(t *testing.T, base string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		return body
+	}
+
+	ev1 := newEventCounter()
+	srv1 := New(Config{Workers: 2, TraceDir: dir, Progress: ev1.sink})
+	ts1 := httptest.NewServer(srv1.Handler())
+	want := getBytes(t, ts1.URL)
+	ts1.Close()
+	if n := ev1.get(engine.EventProfile); n != 1 {
+		t.Fatalf("first server profiled %d times, want 1", n)
+	}
+	if st := srv1.Session().Stats(); st.Profiles.Runs != 1 {
+		t.Fatalf("first server tier stats: %+v", st.Profiles)
+	}
+
+	ev2 := newEventCounter()
+	srv2 := New(Config{Workers: 2, TraceDir: dir, Progress: ev2.sink})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	got := getBytes(t, ts2.URL)
+
+	if !bytes.Equal(got, want) {
+		t.Errorf("restarted server served different bytes:\n got  %s\n want %s", got, want)
+	}
+	if n := ev2.get(engine.EventProfile); n != 0 {
+		t.Errorf("restarted server ran the profiler %d times, want 0", n)
+	}
+	// The profile alone drives the prediction: the recorded trace is not
+	// even reloaded, let alone re-captured.
+	if n := ev2.get(engine.EventRecord); n != 0 {
+		t.Errorf("restarted server re-captured %d traces", n)
+	}
+	st := srv2.Session().Stats()
+	if st.Profiles.Runs != 0 || st.Profiles.Loads != 1 {
+		t.Errorf("restarted server tier stats: %+v", st.Profiles)
+	}
+
+	// The /metrics surface the smoke test asserts on.
+	rr := httptest.NewRecorder()
+	srv2.handleMetrics(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rr.Body.String()
+	for _, want := range []string{
+		"rppm_profile_runs_total 0",
+		"rppm_profile_loads_total 1",
+		"rppm_profile_tier_entries{tier=\"full\"} 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestProfileReloadRejectsMismatch: a profile file whose contents do not
+// match the key it is named for is ignored, not served.
+func TestProfileReloadRejectsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := PredictRequest{Bench: "swaptions", Config: "base", Seed: 1, Scale: 0.05}
+
+	_, c1 := newTestServer(t, Config{Workers: 2, TraceDir: dir})
+	if _, err := c1.Predict(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rename the spilled profile onto another benchmark's key: the loader
+	// trusts file contents over filename, detects the name mismatch and
+	// falls back to profiling.
+	srv := New(Config{Workers: 2, TraceDir: dir})
+	src := srv.profilePath(engine.ProfileKey{Key: engine.Key{Bench: "swaptions", Seed: 1, Scale: 0.05}})
+	dst := srv.profilePath(engine.ProfileKey{Key: engine.Key{Bench: "kmeans", Seed: 1, Scale: 0.05}})
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	ev := newEventCounter()
+	srv2, c2 := newTestServer(t, Config{Workers: 2, TraceDir: dir, Progress: ev.sink})
+	req.Bench = "kmeans"
+	if _, err := c2.Predict(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if n := ev.get(engine.EventProfile); n != 1 {
+		t.Errorf("mismatched profile file served: %d profiler runs, want 1", n)
+	}
+	if st := srv2.Session().Stats(); st.Profiles.Loads != 0 {
+		t.Errorf("mismatched profile counted as load: %+v", st.Profiles)
 	}
 }
 

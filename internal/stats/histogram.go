@@ -218,6 +218,60 @@ func (h *Histogram) SizeBytes() int64 {
 	return n
 }
 
+// HistogramState is the exact internal state of a Histogram, exposed for
+// the profile persistence codec (internal/profilefmt). Restoring a state
+// yields a histogram whose every query — CountAbove, Mean, Quantile — is
+// bit-identical to the original: the count arrays are copied verbatim and
+// the floating-point sum is carried as raw bits, never re-accumulated.
+type HistogramState struct {
+	Linear   []uint64 // nil when the exact-count array was never allocated
+	Log      []uint64
+	Infinite uint64
+	Count    uint64
+	SumBits  uint64 // math.Float64bits of the finite-sample sum
+	Max      int64
+}
+
+// LinearLen is the length a non-nil HistogramState.Linear must have.
+const LinearLen = linearCutoff
+
+// MaxLogLen bounds the length of HistogramState.Log.
+const MaxLogLen = maxLogBuckets
+
+// State snapshots the histogram's internal state. The returned slices
+// alias the histogram's storage and must not be mutated.
+func (h *Histogram) State() HistogramState {
+	return HistogramState{
+		Linear:   h.linear,
+		Log:      h.log,
+		Infinite: h.infinite,
+		Count:    h.count,
+		SumBits:  math.Float64bits(h.sum),
+		Max:      h.max,
+	}
+}
+
+// Restore overwrites h with the given state. A non-nil Linear must be
+// exactly LinearLen long and Log at most MaxLogLen, as State produces;
+// Restore takes ownership of the slices.
+func (h *Histogram) Restore(st HistogramState) error {
+	if st.Linear != nil && len(st.Linear) != linearCutoff {
+		return fmt.Errorf("stats: restore: linear array length %d, want %d", len(st.Linear), linearCutoff)
+	}
+	if len(st.Log) > maxLogBuckets {
+		return fmt.Errorf("stats: restore: %d log buckets exceeds limit %d", len(st.Log), maxLogBuckets)
+	}
+	h.linear = st.Linear
+	h.log = st.Log
+	h.infinite = st.Infinite
+	h.count = st.Count
+	h.sum = math.Float64frombits(st.SumBits)
+	h.max = st.Max
+	h.suffix.Store(nil)
+	h.linearAlloc = nil
+	return nil
+}
+
 // Count returns the total number of samples, including Infinite ones.
 func (h *Histogram) Count() uint64 { return h.count }
 

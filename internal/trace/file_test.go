@@ -2,6 +2,8 @@ package trace_test
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -132,6 +134,57 @@ func TestFileWriteReadFile(t *testing.T) {
 		if strings.HasPrefix(e.Name(), ".rppmtrc-") {
 			t.Errorf("stale temp file %s left behind", e.Name())
 		}
+	}
+}
+
+// TestFileV1BackwardCompat freezes the version-1 encoding as literal bytes
+// assembled here by the format specification alone — independent of the
+// current writer — and proves today's reader still accepts them and that
+// re-serializing the loaded recording reproduces the file byte for byte.
+// The artifact format v2 work (profile files, internal/profilefmt) must
+// never disturb this: v1 trace files in existing spill directories stay
+// readable as they are.
+func TestFileV1BackwardCompat(t *testing.T) {
+	le := binary.LittleEndian
+	var f []byte
+	u16 := func(v uint16) { f = le.AppendUint16(f, v) }
+	u32 := func(v uint32) { f = le.AppendUint32(f, v) }
+	u64 := func(v uint64) { f = le.AppendUint64(f, v) }
+
+	f = append(f, "RPPMTRCE"...)
+	u32(1) // format version 1
+	u32(0) // reserved flags
+	const name = "handmade"
+	u16(uint16(len(name)))
+	f = append(f, name...)
+	u32(2) // thread count
+	u64(7) // total instructions
+	u64(2) // total sync events
+	u64(3) // total data memory references
+	u64(3) // thread 0 packed words
+	u64(2) // thread 1 packed words
+	words := []uint64{0x0102030405060708, 0xfffefdfcfbfaf9f8, 0, 1, 0x8000000000000000}
+	for _, w := range words {
+		u64(w)
+	}
+	u32(crc32.ChecksumIEEE(f))
+
+	rec, err := trace.ReadRecorded(bytes.NewReader(f))
+	if err != nil {
+		t.Fatalf("frozen v1 bytes rejected: %v", err)
+	}
+	if rec.Name() != name || rec.NumThreads() != 2 || rec.Instructions() != 7 ||
+		rec.SyncEvents() != 2 || rec.Words() != len(words) {
+		t.Fatalf("frozen v1 identity/counters misread: %s/%d t, %d i, %d s, %d w",
+			rec.Name(), rec.NumThreads(), rec.Instructions(), rec.SyncEvents(), rec.Words())
+	}
+	var out bytes.Buffer
+	if _, err := rec.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), f) {
+		t.Fatalf("re-serialized v1 recording differs from the frozen bytes (%d vs %d bytes)",
+			out.Len(), len(f))
 	}
 }
 

@@ -7,7 +7,7 @@
 # Usage:
 #   scripts/bench.sh [N] [micro-benchtime] [macro-benchtime] [count]
 #
-#   N                suffix of the output file BENCH_<N>.json (default: 6)
+#   N                suffix of the output file BENCH_<N>.json (default: 7)
 #   micro-benchtime  -benchtime for the micro-benchmarks (default: 1s)
 #   macro-benchtime  -benchtime for the experiment benchmarks (default: 3x)
 #   count            -count repetitions per benchmark; the recorded value
@@ -30,10 +30,13 @@
 # regeneration baseline. The ServePredict warm/cold pair reports req/s:
 # warm is a resident-cache hit plus JSON encode, cold pays the full
 # record+profile+predict pipeline — the ratio is the value of `rppm serve`.
+# ColdPersisted is the cold path against a pre-populated trace dir: the
+# persisted profile (format v2) replaces the profiling pass, and the gap to
+# plain Cold is what profile persistence buys a restarted replica.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-6}"
+N="${1:-7}"
 MICRO_TIME="${2:-1s}"
 MACRO_TIME="${3:-3x}"
 COUNT="${4:-3}"
@@ -42,7 +45,7 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 echo "== micro-benchmarks (-benchtime $MICRO_TIME -count $COUNT)" >&2
-go test -run XXX -bench 'BenchmarkProfilerInstr|BenchmarkSimStep|BenchmarkSimStepSweep|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkUpsert|BenchmarkRecord|BenchmarkReplay|BenchmarkReplayColumns|BenchmarkDecodeShared|BenchmarkGenerate|BenchmarkServePredictWarm|BenchmarkServePredictCold|BenchmarkServeSweepWarm' \
+go test -run XXX -bench 'BenchmarkProfilerInstr|BenchmarkSimStep|BenchmarkSimStepSweep|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkUpsert|BenchmarkRecord|BenchmarkReplay|BenchmarkReplayColumns|BenchmarkDecodeShared|BenchmarkGenerate|BenchmarkServePredictWarm|BenchmarkServePredictCold|BenchmarkServePredictColdPersisted|BenchmarkServeSweepWarm' \
   -benchmem -benchtime "$MICRO_TIME" -count "$COUNT" \
   ./internal/profiler ./internal/sim ./internal/cache ./internal/hashmap ./internal/trace ./internal/server \
   | tee "$TMP/micro.txt" >&2

@@ -8,7 +8,9 @@
 #      path, so any divergence is a serving-layer bug),
 #   4. exercise /v1/benchmarks, /v1/archs and /metrics,
 #   5. re-request to confirm a cache hit shows up in the metrics,
-#   6. SIGTERM and require a clean graceful drain.
+#   6. SIGTERM and require a clean graceful drain,
+#   7. restart on the same trace dir and byte-diff a prediction served
+#      purely from the persisted profile (profiler-run counter must be 0).
 #
 # Usage: scripts/serve_smoke.sh [port]
 set -euo pipefail
@@ -65,8 +67,9 @@ diff "$WORK/srv.json" "$WORK/srv2.json"
 HITS=$(curl -sf "http://$ADDR/metrics" | awk '/^rppm_cache_hits_total/ {print $2}')
 [ "$HITS" -ge 1 ] || { echo "no cache hits after identical re-request" >&2; exit 1; }
 
-echo "== trace persisted" >&2
+echo "== artifacts persisted" >&2
 ls "$WORK/traces"/kmeans_1_*.rpt >/dev/null || { echo "no trace file spilled" >&2; exit 1; }
+ls "$WORK/traces"/kmeans_1_*.rpp >/dev/null || { echo "no profile file spilled" >&2; exit 1; }
 
 echo "== graceful drain on SIGTERM" >&2
 kill -TERM "$SERVE_PID"
@@ -81,5 +84,28 @@ wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 grep -q "drained, exiting" "$WORK/serve.log" || {
   echo "no drain message in log:" >&2; cat "$WORK/serve.log" >&2; exit 1; }
+
+echo "== restart: persisted profile serves the cold path" >&2
+"$WORK/rppm-serve" -addr "$ADDR" -max-bytes 256MiB -trace-dir "$WORK/traces" \
+  2>"$WORK/serve2.log" &
+SERVE_PID=$!
+for i in $(seq 1 100); do
+  if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "restarted rppm-serve died during startup:" >&2; cat "$WORK/serve2.log" >&2; exit 1
+  fi
+  sleep 0.1
+done
+curl -sf "http://$ADDR/v1/predict?bench=kmeans&scale=0.05&seed=1" >"$WORK/srv3.json"
+diff "$WORK/srv.json" "$WORK/srv3.json" || {
+  echo "prediction from persisted profile differs from the freshly-profiled one" >&2; exit 1; }
+RUNS=$(curl -sf "http://$ADDR/metrics" | awk '/^rppm_profile_runs_total/ {print $2}')
+[ "$RUNS" = "0" ] || {
+  echo "restarted server ran the profiler $RUNS times (want 0)" >&2; exit 1; }
+LOADS=$(curl -sf "http://$ADDR/metrics" | awk '/^rppm_profile_loads_total/ {print $2}')
+[ "$LOADS" -ge 1 ] || { echo "restarted server loaded no persisted profile" >&2; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
 
 echo "serve smoke OK" >&2
