@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rppm/internal/profilefmt"
+	"rppm/internal/storefs"
+	"rppm/internal/trace"
+)
+
+// fsck validates a serve spill directory: every published artifact (.rpt
+// trace, .rpp profile) is fully decoded — magic, format version and
+// checksum — and everything else in the directory is classified as
+// quarantined (*.corrupt, renamed aside by the server after failing
+// validation), a stale spill temp (crash debris the server removes at
+// startup), or unknown. The exit code is non-zero iff a published artifact
+// fails validation: quarantined files and stale temps are expected debris
+// after faults, a corrupt *published* name is not.
+func fsck(args []string) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rppm-diag fsck DIR")
+		return 2
+	}
+	dir := args[0]
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rppm-diag fsck:", err)
+		return 2
+	}
+
+	var ok, corrupt, quarantined, staleTemps, unknown int
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		switch {
+		case strings.HasSuffix(name, ".rpt"):
+			if _, err := trace.ReadFile(path); err != nil {
+				fmt.Printf("CORRUPT  %s: %v\n", name, err)
+				corrupt++
+			} else {
+				fmt.Printf("ok       %s (trace v%d)\n", name, trace.FileVersion)
+				ok++
+			}
+		case strings.HasSuffix(name, ".rpp"):
+			if _, _, err := profilefmt.ReadFile(path); err != nil {
+				fmt.Printf("CORRUPT  %s: %v\n", name, err)
+				corrupt++
+			} else {
+				fmt.Printf("ok       %s (profile v%d)\n", name, profilefmt.FileVersion)
+				ok++
+			}
+		case strings.HasSuffix(name, storefs.CorruptSuffix):
+			fmt.Printf("quarantined %s\n", name)
+			quarantined++
+		case storefs.IsTempName(name):
+			fmt.Printf("stale-temp  %s\n", name)
+			staleTemps++
+		default:
+			fmt.Printf("unknown     %s\n", name)
+			unknown++
+		}
+	}
+	fmt.Printf("fsck %s: %d ok, %d corrupt, %d quarantined, %d stale temp(s), %d unknown\n",
+		dir, ok, corrupt, quarantined, staleTemps, unknown)
+	if corrupt > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,7 +1,8 @@
 // Command rppm-diag prints model-vs-simulation diagnosis tables for
-// benchmarks (the default mode, `rppm-diag [BENCH...]`) and inspects
+// benchmarks (the default mode, `rppm-diag [BENCH...]`), inspects
 // persisted profile files from a serve spill directory
-// (`rppm-diag profile FILE.rpp...`).
+// (`rppm-diag profile FILE.rpp...`), and validates a whole spill
+// directory's artifacts (`rppm-diag fsck DIR`).
 package main
 
 import (
@@ -20,6 +21,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "profile" {
 		os.Exit(profileDump(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fsck" {
+		os.Exit(fsck(os.Args[2:]))
 	}
 	cfg := arch.Base()
 	scale := 0.3

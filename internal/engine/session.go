@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -259,7 +260,27 @@ func (s *Session) get(ctx context.Context, k any, fn func(context.Context) (any,
 			s.entries[k] = en
 			s.misses++
 			s.mu.Unlock()
-			en.val, en.err = fn(ctx)
+			func() {
+				// A panic in the computation (a handler bug, a corrupt
+				// artifact tripping an invariant) must not strand the slot:
+				// waiters would block on done forever and every later
+				// request for the key would coalesce onto the wreck. Forget
+				// the entry — like a context cancellation, but the cached
+				// error makes current waiters fail rather than retry — and
+				// let the panic keep unwinding to the caller's recovery.
+				defer func() {
+					if r := recover(); r != nil {
+						s.mu.Lock()
+						delete(s.entries, k)
+						en.evicted = true
+						en.err = fmt.Errorf("engine: computing %T cache entry: panic: %v", k, r)
+						s.mu.Unlock()
+						close(en.done)
+						panic(r)
+					}
+				}()
+				en.val, en.err = fn(ctx)
+			}()
 			s.mu.Lock()
 			if en.err != nil && isCtxErr(en.err) {
 				delete(s.entries, k)
@@ -477,8 +498,12 @@ func (s *Session) recordedPinned(ctx context.Context, bm workload.Benchmark, see
 			if err := s.eng.acquire(ctx); err != nil {
 				return nil, err
 			}
-			rec, ok := s.opts.LoadRecorded(k)
-			s.eng.release()
+			rec, ok := func() (*trace.Recorded, bool) {
+				// The hook is serving-layer code; release the slot on its
+				// panic-unwind too, or N panics would wedge an N-slot pool.
+				defer s.eng.release()
+				return s.opts.LoadRecorded(k)
+			}()
 			if ok {
 				s.mu.Lock()
 				s.traceLoads++
@@ -606,8 +631,12 @@ func (s *Session) profileValue(ctx context.Context, bm workload.Benchmark, seed 
 		if err := s.eng.acquire(ctx); err != nil {
 			return nil, err
 		}
-		prof, ok := s.opts.LoadProfile(pk)
-		s.eng.release()
+		prof, ok := func() (*profiler.Profile, bool) {
+			// Release the slot on the hook's panic-unwind too (see
+			// LoadRecorded).
+			defer s.eng.release()
+			return s.opts.LoadProfile(pk)
+		}()
 		if ok && !prof.Compact {
 			s.mu.Lock()
 			s.profStats.Loads++
@@ -914,6 +943,25 @@ func (s *Session) simulateBatch(ctx context.Context, bm workload.Benchmark, seed
 		for _, c := range claimed {
 			batchCfgs = append(batchCfgs, cfgs[c.idx])
 		}
+		// Mirror get()'s panic discipline for the claimed slots: forget
+		// every claim and wake its waiters with an error before the panic
+		// keeps unwinding, so a batch-pass panic cannot wedge the cache.
+		defer func() {
+			if r := recover(); r != nil {
+				s.mu.Lock()
+				for _, c := range claimed {
+					if c.en.complete || c.en.evicted {
+						continue
+					}
+					delete(s.entries, c.en.key)
+					c.en.evicted = true
+					c.en.err = fmt.Errorf("engine: batch simulation: panic: %v", r)
+					close(c.en.done)
+				}
+				s.mu.Unlock()
+				panic(r)
+			}
+		}()
 		results, err := func() ([]*sim.Result, error) {
 			if err := s.eng.acquire(ctx); err != nil {
 				return nil, err
@@ -1063,10 +1111,24 @@ func (s *Session) ForEach(ctx context.Context, n int, f func(ctx context.Context
 	defer cancel()
 	errs := make([]error, n)
 	var wg sync.WaitGroup
+	// A panic in a job goroutine would crash the process before any
+	// recovery up the caller's stack could run (a server's panic middleware
+	// lives on a different goroutine than the fan-out jobs). Capture the
+	// first panic, cancel the rest, and re-throw it from the caller's
+	// goroutine so it unwinds — and is recoverable — exactly like a panic
+	// in serial code.
+	var panicOnce sync.Once
+	var panicked any
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					cancel()
+				}
+			}()
 			if err := ctx.Err(); err != nil {
 				errs[i] = err
 				return
@@ -1078,6 +1140,9 @@ func (s *Session) ForEach(ctx context.Context, n int, f func(ctx context.Context
 		}(i)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 	// Prefer a real failure over a secondary cancellation error.
 	var ctxErr error
 	for _, err := range errs {

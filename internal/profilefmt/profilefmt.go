@@ -64,13 +64,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
-	"os"
-	"path/filepath"
 
 	"rppm/internal/branchmodel"
 	"rppm/internal/profiler"
 	"rppm/internal/stats"
+	"rppm/internal/storefs"
 	"rppm/internal/trace"
 )
 
@@ -710,33 +710,35 @@ func (t *threadDecoder) window() (profiler.Window, error) {
 	return w, nil
 }
 
-// WriteFile atomically persists the profile at path: it writes to a
-// temporary file in the same directory and renames it into place, so
-// concurrent readers only ever observe complete profiles.
+// WriteFile atomically persists the profile at path on the host
+// filesystem (see WriteFileFS).
 func WriteFile(path string, p *profiler.Profile, opts profiler.Options) error {
+	return WriteFileFS(storefs.OS, path, p, opts)
+}
+
+// WriteFileFS atomically persists the profile at path on fsys: the payload
+// is written to a temporary file in the same directory, synced to stable
+// storage, and renamed into place, so concurrent readers — and readers
+// after a crash at any point — only ever observe complete profiles.
+func WriteFileFS(fsys storefs.FS, path string, p *profiler.Profile, opts profiler.Options) error {
 	data, err := Encode(p, opts)
 	if err != nil {
 		return err
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".rppmprof-*")
-	if err != nil {
+	return storefs.WriteAtomic(fsys, path, ".rppmprof-*", func(w io.Writer) error {
+		_, err := w.Write(data)
 		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	})
 }
 
 // ReadFile loads a profile persisted with WriteFile.
 func ReadFile(path string) (*profiler.Profile, profiler.Options, error) {
-	data, err := readCapped(path)
+	return ReadFileFS(storefs.OS, path)
+}
+
+// ReadFileFS loads a profile persisted with WriteFileFS from fsys.
+func ReadFileFS(fsys storefs.FS, path string) (*profiler.Profile, profiler.Options, error) {
+	data, err := readCapped(fsys, path)
 	if err != nil {
 		return nil, profiler.Options{}, err
 	}
@@ -750,7 +752,7 @@ func ReadFile(path string) (*profiler.Profile, profiler.Options, error) {
 // ReadHeaderFile reads just the summary header (with full checksum
 // validation) of a profile file, for diagnostics.
 func ReadHeaderFile(path string) (Header, error) {
-	data, err := readCapped(path)
+	data, err := readCapped(storefs.OS, path)
 	if err != nil {
 		return Header{}, err
 	}
@@ -761,13 +763,15 @@ func ReadHeaderFile(path string) (Header, error) {
 	return h, nil
 }
 
-func readCapped(path string) ([]byte, error) {
-	fi, err := os.Stat(path)
+func readCapped(fsys storefs.FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	if fi.Size() > maxFileBytes {
-		return nil, fmt.Errorf("profilefmt: %s: %d bytes exceeds limit", path, fi.Size())
+	defer f.Close()
+	data, err := storefs.ReadAllCapped(f, maxFileBytes)
+	if err != nil {
+		return nil, fmt.Errorf("profilefmt: %s: %w", path, err)
 	}
-	return os.ReadFile(path)
+	return data, nil
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"rppm/internal/arch"
@@ -301,4 +302,54 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("decoded profile does not re-encode: %v", err)
 		}
 	})
+}
+
+// TestTornWriteCorpus is the torn-write regression corpus: a profile file
+// cut off at every possible byte boundary — every prefix a torn write,
+// partial page flush or mid-stream crash could leave behind — must be
+// rejected by Decode and DecodeHeader with a descriptive error, and must
+// never panic or be accepted. The envelope checksum makes every strict
+// prefix detectably incomplete, so this holds at field boundaries and
+// mid-field alike.
+func TestTornWriteCorpus(t *testing.T) {
+	opts := profiler.Options{WindowSize: 128, WindowInterval: 4096}
+	p := profileBench(t, "kmeans", 1, 0.02, opts)
+	data, err := Encode(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(data); err != nil {
+		t.Fatalf("golden file does not decode: %v", err)
+	}
+	t.Logf("corpus file: %d bytes, %d truncations", len(data), len(data))
+
+	decodeTorn := func(n int, prefix []byte) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %d-byte truncation: %v", n, r)
+			}
+		}()
+		_, _, err = Decode(prefix)
+		return err
+	}
+	for n := 0; n < len(data); n++ {
+		err := decodeTorn(n, data[:n])
+		if err == nil {
+			t.Fatalf("Decode accepted a %d-byte truncation of a %d-byte file", n, len(data))
+		}
+		if !strings.Contains(err.Error(), "profilefmt") {
+			t.Fatalf("%d-byte truncation: error %q does not identify the decoder", n, err)
+		}
+		// The header summary must hold itself to the same standard: reject
+		// or succeed, never panic (prefixes that still contain the whole
+		// header legitimately parse).
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("DecodeHeader panicked on %d-byte truncation: %v", n, r)
+				}
+			}()
+			_, _ = DecodeHeader(data[:n])
+		}()
+	}
 }

@@ -1,0 +1,466 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"rppm/internal/storefs"
+)
+
+// The chaos suite drives a live server through scripted disk failures and
+// holds it to one invariant: a fault in the artifact store may cost time
+// (retries) or persistence (dropped spills), but never correctness — every
+// 2xx body must be byte-identical to the answer a fault-free server gives.
+
+// chaosRequests is the request mix the fault schedules run against. All of
+// them are deterministic, so their bodies are comparable byte-for-byte
+// across servers.
+var chaosRequests = []string{
+	"/v1/predict?bench=kmeans&seed=1&scale=0.05&baselines=1",
+	"/v1/predict?bench=swaptions&seed=1&scale=0.05",
+	"/v1/sweep?bench=kmeans&configs=4&seed=1&scale=0.05",
+}
+
+// fetchOK GETs url and returns the body, failing the test on any
+// non-200 answer: under fault injection a degraded answer is acceptable
+// only as an explicit 5xx, never as a wrong 200.
+func fetchOK(t *testing.T, base, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+	}
+	return body
+}
+
+// golden computes the fault-free reference bodies from a memory-only
+// server: persistence must never change an answer, so the same bytes are
+// required from every chaos phase.
+func golden(t *testing.T, paths []string) map[string][]byte {
+	t.Helper()
+	ts := httptest.NewServer(New(Config{Workers: 2}).Handler())
+	defer ts.Close()
+	g := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		g[p] = fetchOK(t, ts.URL, p)
+	}
+	return g
+}
+
+func requireGolden(t *testing.T, base string, g map[string][]byte, phase string) {
+	t.Helper()
+	for _, p := range chaosRequests {
+		if got := fetchOK(t, base, p); !bytes.Equal(got, g[p]) {
+			t.Errorf("%s: %s body diverged from fault-free golden under faults", phase, p)
+		}
+	}
+}
+
+// healthPersistence reads the persistence field out of /healthz.
+func healthPersistence(t *testing.T, s *Server) string {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	s.handleHealthz(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var h struct {
+		Status      string `json:"status"`
+		Persistence string `json:"persistence"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &h); err != nil {
+		t.Fatalf("healthz JSON: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("healthz status = %q; degraded persistence must not fail the probe", h.Status)
+	}
+	return h.Persistence
+}
+
+// noSleep makes store retries instant for the tests.
+func noSleep(srv *Server) { srv.store.sleep = func(time.Duration) {} }
+
+// fakeClock is an injectable store clock for breaker-cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestChaosEveryIOSiteFaulted fails every filesystem operation class the
+// store performs at least once — temp creation, payload writes (plain EIO
+// and a torn ENOSPC short write), fsync, close, the publishing rename,
+// temp removal, startup ReadDir, open and read on reload — across a spill
+// phase and a restart/reload phase, and requires every 2xx body to stay
+// byte-identical to the fault-free golden.
+func TestChaosEveryIOSiteFaulted(t *testing.T) {
+	g := golden(t, chaosRequests)
+	dir := t.TempDir()
+
+	// Phase 1: spill-side faults. Rules are path-scoped to the first
+	// trace's spill so the fault sequence is deterministic: its first five
+	// attempts die at a different site each (payload write, temp creation,
+	// fsync, close, the publishing rename), and the write-failure's temp
+	// cleanup is also faulted so a crash-style orphan stays behind. The
+	// sixth attempt succeeds, exactly consuming the retry budget. The first
+	// profile spill tears on a disk-full write: 7 payload bytes land, then
+	// ENOSPC.
+	writeFault := storefs.NewFault(storefs.OS)
+	writeFault.Script(
+		storefs.Rule{Op: storefs.OpReadDir, Nth: 1}, // startup temp cleanup
+		storefs.Rule{Op: storefs.OpWrite, Path: ".rppmtrc-", Nth: 1},
+		storefs.Rule{Op: storefs.OpRemove, Path: ".rppmtrc-", Nth: 1}, // orphans the aborted temp
+		storefs.Rule{Op: storefs.OpCreate, Path: ".rppmtrc-", Nth: 2},
+		storefs.Rule{Op: storefs.OpSync, Path: ".rppmtrc-", Nth: 1},
+		storefs.Rule{Op: storefs.OpClose, Path: ".rppmtrc-", Nth: 3},
+		storefs.Rule{Op: storefs.OpRename, Path: ".rpt", Nth: 1}, // mid-rename crash site
+		storefs.Rule{Op: storefs.OpWrite, Path: ".rppmprof-", Nth: 1,
+			Err: syscall.ENOSPC, ShortBytes: 7},
+	)
+	pol := StorePolicy{Attempts: 6, BreakerThreshold: 100}
+	srvA := New(Config{Workers: 2, TraceDir: dir, StoreFS: writeFault, Store: pol})
+	noSleep(srvA)
+	tsA := httptest.NewServer(srvA.Handler())
+	requireGolden(t, tsA.URL, g, "spill phase")
+	tsA.Close()
+
+	// Every scheduled write-side fault must actually have fired: a schedule
+	// that silently missed a site would prove nothing.
+	for _, op := range []storefs.Op{storefs.OpReadDir, storefs.OpCreate, storefs.OpWrite,
+		storefs.OpRemove, storefs.OpSync, storefs.OpClose, storefs.OpRename} {
+		if writeFault.Count(op) == 0 {
+			t.Errorf("spill phase never performed %v: the fault site was not exercised", op)
+		}
+	}
+	// The faulted Remove left an orphaned temp file behind (the crash-site
+	// artifact the startup cleanup exists for), and every failure was
+	// absorbed by a retry rather than dropped.
+	if n := countTemps(t, dir); n == 0 {
+		t.Error("expected an orphaned temp file from the faulted Remove")
+	}
+	if r := srvA.store.retries.Load(); r < 6 {
+		t.Errorf("store recorded %d retries; the schedule should have forced at least 6", r)
+	}
+	if f := srvA.store.storeFails.Load(); f != 0 {
+		t.Errorf("%d spills exhausted their retry budget; the schedule fits within Attempts", f)
+	}
+
+	// All retries eventually succeeded, so both benchmarks' artifacts must
+	// have been published despite the schedule.
+	if rpt, rpp := countSuffix(t, dir, ".rpt"), countSuffix(t, dir, ".rpp"); rpt != 2 || rpp != 2 {
+		t.Errorf("published %d traces / %d profiles, want 2 / 2", rpt, rpp)
+	}
+
+	// Corrupt one published profile on disk: the reload phase must detect
+	// it (CRC), quarantine it, and regenerate — still answering golden.
+	corruptOneProfile(t, dir)
+
+	// Phase 2: reload-side faults against the same directory — a restarted
+	// replica with a flaky disk. Open and mid-decode read each fail once.
+	readFault := storefs.NewFault(storefs.OS)
+	readFault.Script(
+		storefs.Rule{Op: storefs.OpOpen, Nth: 1},
+		storefs.Rule{Op: storefs.OpRead, Nth: 2},
+	)
+	srvB := New(Config{Workers: 2, TraceDir: dir, StoreFS: readFault, Store: pol})
+	noSleep(srvB)
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+	requireGolden(t, tsB.URL, g, "reload phase")
+
+	if n := countTemps(t, dir); n != 0 {
+		t.Errorf("restart left %d stale temp file(s); startup cleanup should have removed them", n)
+	}
+	if q := srvB.store.quarantines.Load(); q != 1 {
+		t.Errorf("quarantined %d artifacts, want exactly the one corrupted", q)
+	}
+	if n := countSuffix(t, dir, CorruptSuffix); n != 1 {
+		t.Errorf("%d *.corrupt files on disk, want 1", n)
+	}
+	// The reload path must actually have served from disk (not recomputed
+	// everything): at least one profile load has to have landed.
+	if st := srvB.Session().Stats(); st.Profiles.Loads == 0 {
+		t.Error("reload phase never loaded a profile from disk; faults were not absorbed, they were bypassed")
+	}
+}
+
+func countTemps(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if storefs.IsTempName(e.Name()) {
+			n++
+		}
+	}
+	return n
+}
+
+func countSuffix(t *testing.T, dir, suffix string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), suffix) {
+			n++
+		}
+	}
+	return n
+}
+
+// corruptOneProfile flips a payload byte in one published .rpp file.
+func corruptOneProfile(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".rpp") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	t.Fatal("no .rpp file to corrupt")
+	return ""
+}
+
+// TestChaosStoreBreakerOpensAndRecovers runs the spill direction against a
+// dead disk: after BreakerThreshold consecutive exhausted-retry failures
+// the store breaker opens (requests stay correct, spills become cheap
+// skips and /healthz reports degraded), and once the disk heals and the
+// cooldown elapses a half-open probe closes the breaker and spilling
+// resumes.
+func TestChaosStoreBreakerOpensAndRecovers(t *testing.T) {
+	predict := func(seed string) string {
+		return "/v1/predict?bench=kmeans&seed=" + seed + "&scale=0.05"
+	}
+	g := golden(t, []string{predict("1"), predict("2"), predict("3")})
+
+	dir := t.TempDir()
+	fault := storefs.NewFault(storefs.OS)
+	srv := New(Config{Workers: 2, TraceDir: dir, StoreFS: fault, Store: StorePolicy{
+		Attempts: 2, BreakerThreshold: 2, BreakerCooldown: time.Minute}})
+	noSleep(srv)
+	clock := &fakeClock{t: time.Unix(1_000_000_000, 0)}
+	srv.store.now = clock.now
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if p := healthPersistence(t, srv); p != "ok" {
+		t.Fatalf("persistence = %q before any fault, want ok", p)
+	}
+
+	// Dead disk: every new file fails. The first request's trace and
+	// profile spills each exhaust their retries — two consecutive failures,
+	// and the store breaker opens. The answer is unaffected.
+	fault.FailAlways(storefs.OpCreate, "", nil)
+	if got := fetchOK(t, ts.URL, predict("1")); !bytes.Equal(got, g[predict("1")]) {
+		t.Error("predict body diverged while the disk was dead")
+	}
+	if st := srv.store.storeBr.state(); st != 2 {
+		t.Fatalf("store breaker state = %d after dead-disk spills, want 2 (open)", st)
+	}
+	if p := healthPersistence(t, srv); p != "degraded" {
+		t.Errorf("persistence = %q with an open breaker, want degraded", p)
+	}
+
+	// While open, spills are skipped without touching the disk at all: the
+	// next request must not cost a single Create.
+	creates := fault.Count(storefs.OpCreate)
+	if got := fetchOK(t, ts.URL, predict("2")); !bytes.Equal(got, g[predict("2")]) {
+		t.Error("predict body diverged while the breaker was open")
+	}
+	if after := fault.Count(storefs.OpCreate); after != creates {
+		t.Errorf("open breaker still attempted %d create(s); want cheap skips", after-creates)
+	}
+	if skipped := srv.store.storeBr.skipped.Load(); skipped == 0 {
+		t.Error("open breaker recorded no skipped operations")
+	}
+
+	// Recovery: the disk heals and the cooldown elapses. The next spill is
+	// the half-open probe; it succeeds, the breaker closes, and artifacts
+	// reach the disk again.
+	fault.Heal()
+	clock.advance(2 * time.Minute)
+	if got := fetchOK(t, ts.URL, predict("3")); !bytes.Equal(got, g[predict("3")]) {
+		t.Error("predict body diverged during breaker recovery")
+	}
+	if st := srv.store.storeBr.state(); st != 0 {
+		t.Errorf("store breaker state = %d after successful probe, want 0 (closed)", st)
+	}
+	if p := healthPersistence(t, srv); p != "ok" {
+		t.Errorf("persistence = %q after recovery, want ok", p)
+	}
+	if n := countSuffix(t, dir, ".rpt"); n == 0 {
+		t.Error("no trace reached the disk after recovery; spilling did not resume")
+	}
+	if trips := srv.store.storeBr.trips.Load(); trips != 1 {
+		t.Errorf("breaker tripped %d times, want exactly 1", trips)
+	}
+}
+
+// TestChaosLoadBreakerOpensAndRecovers mirrors the breaker test for the
+// reload direction: a dead disk on reads degrades cold keys to recompute
+// (still correct), opens the load breaker so later misses skip the disk,
+// and a healed disk plus an elapsed cooldown close it again.
+func TestChaosLoadBreakerOpensAndRecovers(t *testing.T) {
+	predict := func(seed string) string {
+		return "/v1/predict?bench=kmeans&seed=" + seed + "&scale=0.05"
+	}
+	g := golden(t, []string{predict("1"), predict("2"), predict("4")})
+
+	// Populate the directory fault-free so the reload phase has real
+	// artifacts to fail to read.
+	dir := t.TempDir()
+	seedSrv := New(Config{Workers: 2, TraceDir: dir})
+	tsSeed := httptest.NewServer(seedSrv.Handler())
+	fetchOK(t, tsSeed.URL, predict("1"))
+	fetchOK(t, tsSeed.URL, predict("2"))
+	tsSeed.Close()
+
+	fault := storefs.NewFault(storefs.OS)
+	srv := New(Config{Workers: 2, TraceDir: dir, StoreFS: fault, Store: StorePolicy{
+		Attempts: 2, BreakerThreshold: 2, BreakerCooldown: time.Minute}})
+	noSleep(srv)
+	clock := &fakeClock{t: time.Unix(1_000_000_000, 0)}
+	srv.store.now = clock.now
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Every open fails: the cold request's profile and trace reloads each
+	// exhaust their retries, trip the load breaker, and the server
+	// recomputes from scratch — same bytes out.
+	fault.FailAlways(storefs.OpOpen, "", nil)
+	if got := fetchOK(t, ts.URL, predict("1")); !bytes.Equal(got, g[predict("1")]) {
+		t.Error("predict body diverged while reloads were failing")
+	}
+	if st := srv.store.loadBr.state(); st != 2 {
+		t.Fatalf("load breaker state = %d after dead-disk reloads, want 2 (open)", st)
+	}
+	if p := healthPersistence(t, srv); p != "degraded" {
+		t.Errorf("persistence = %q with an open load breaker, want degraded", p)
+	}
+
+	// While open, misses skip the disk entirely.
+	opens := fault.Count(storefs.OpOpen)
+	if got := fetchOK(t, ts.URL, predict("2")); !bytes.Equal(got, g[predict("2")]) {
+		t.Error("predict body diverged while the load breaker was open")
+	}
+	if after := fault.Count(storefs.OpOpen); after != opens {
+		t.Errorf("open load breaker still attempted %d open(s); want cheap skips", after-opens)
+	}
+
+	// Heal and cool down: the probe on the next miss (a fresh key, so the
+	// answer is a legitimate not-found) closes the breaker.
+	fault.Heal()
+	clock.advance(2 * time.Minute)
+	if got := fetchOK(t, ts.URL, predict("4")); !bytes.Equal(got, g[predict("4")]) {
+		t.Error("predict body diverged during load-breaker recovery")
+	}
+	if st := srv.store.loadBr.state(); st != 0 {
+		t.Errorf("load breaker state = %d after probe, want 0 (closed)", st)
+	}
+	if p := healthPersistence(t, srv); p != "ok" {
+		t.Errorf("persistence = %q after recovery, want ok", p)
+	}
+}
+
+// TestChaosQuarantineOnFirstRejection: a corrupt artifact is read exactly
+// once. The first rejection renames it to *.corrupt and records it; the
+// regenerated artifact is re-spilled under the original name and later
+// requests read only the fresh copy — the corrupt bytes never get a second
+// chance. Open calls are counted through the fault VFS to prove it.
+func TestChaosQuarantineOnFirstRejection(t *testing.T) {
+	predict := "/v1/predict?bench=kmeans&seed=1&scale=0.05"
+	g := golden(t, []string{predict})
+
+	dir := t.TempDir()
+	seedSrv := New(Config{Workers: 2, TraceDir: dir})
+	tsSeed := httptest.NewServer(seedSrv.Handler())
+	fetchOK(t, tsSeed.URL, predict)
+	tsSeed.Close()
+
+	corrupted := corruptOneProfile(t, dir)
+
+	// MaxBytes: 1 evicts every completed entry, so each request re-misses
+	// the cache and exercises the load path again.
+	fault := storefs.NewFault(storefs.OS)
+	srv2 := New(Config{Workers: 2, MaxBytes: 1, TraceDir: dir, StoreFS: fault, Store: StorePolicy{Attempts: 2}})
+	noSleep(srv2)
+	ts := httptest.NewServer(srv2.Handler())
+	defer ts.Close()
+
+	// Request 1: the corrupt profile is read, rejected by its checksum,
+	// quarantined, and the answer regenerated — bytes equal golden.
+	if got := fetchOK(t, ts.URL, predict); !bytes.Equal(got, g[predict]) {
+		t.Error("predict body diverged on the corrupt-artifact request")
+	}
+	if q := srv2.store.quarantines.Load(); q != 1 {
+		t.Fatalf("quarantines = %d after first rejection, want 1", q)
+	}
+	if _, err := os.Stat(corrupted + CorruptSuffix); err != nil {
+		t.Errorf("quarantined file not renamed: %v", err)
+	}
+
+	// The regenerated profile was re-spilled under the original name (the
+	// quarantine is lifted by the successful store), so request 2 reads
+	// only fresh bytes: exactly one more profile open, no new quarantine.
+	if _, err := os.Stat(corrupted); err != nil {
+		t.Fatalf("regenerated profile missing after re-spill: %v", err)
+	}
+	opens := fault.Count(storefs.OpOpen)
+	if got := fetchOK(t, ts.URL, predict); !bytes.Equal(got, g[predict]) {
+		t.Error("predict body diverged on the post-quarantine request")
+	}
+	if q := srv2.store.quarantines.Load(); q != 1 {
+		t.Errorf("quarantines = %d after re-read, want still 1: the corrupt bytes must never be re-read", q)
+	}
+	if delta := fault.Count(storefs.OpOpen) - opens; delta != 1 {
+		t.Errorf("request 2 performed %d opens, want exactly 1 (the regenerated profile)", delta)
+	}
+	if st := srv2.Session().Stats(); st.Profiles.Loads != 1 {
+		t.Errorf("profile loads = %d, want 1: request 2 must serve from the regenerated file", st.Profiles.Loads)
+	}
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rppm/internal/engine"
+)
+
+// TestPanicMiddlewareContains: a panic inside a handler (injected through
+// an engine progress sink, the same depth a buggy hook would panic at) is
+// answered as a 500 with a JSON error and counted, and the server keeps
+// serving afterwards — the engine's unwind paths released the panicked
+// request's slot and pins.
+func TestPanicMiddlewareContains(t *testing.T) {
+	boom := true
+	sink := func(ev engine.Event) {
+		if boom && ev.Kind == engine.EventProfile {
+			panic("injected handler bug")
+		}
+	}
+	srv, _ := newTestServer(t, Config{Workers: 1, Progress: sink})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/predict?bench=kmeans&seed=1&scale=0.05")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500 (body: %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "internal error") {
+		t.Errorf("500 body = %s, want a JSON error", body)
+	}
+	if n := srv.panics.Load(); n != 1 {
+		t.Errorf("panics counter = %d, want 1", n)
+	}
+
+	// Healed, the same single-worker server must serve the same request in
+	// full: nothing leaked from the unwound request.
+	boom = false
+	resp, err = http.Get(ts.URL + "/v1/predict?bench=kmeans&seed=1&scale=0.05")
+	if err != nil {
+		t.Fatalf("GET after panic: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after contained panic answered %d, want 200", resp.StatusCode)
+	}
+
+	rr := httptest.NewRecorder()
+	srv.handleMetrics(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), "rppm_panics_total 1") {
+		t.Error("/metrics missing rppm_panics_total 1")
+	}
+}
+
+// TestRequestTimeoutAnswers504: a request that exceeds the per-request
+// deadline is answered with 504 and counted; the deadline is threaded
+// through the engine context, so the computation is actually abandoned.
+func TestRequestTimeoutAnswers504(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1, RequestTimeout: time.Nanosecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/predict?bench=kmeans&seed=1&scale=0.05")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired request answered %d, want 504 (body: %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("504 body = %s, want a deadline message", body)
+	}
+	if n := srv.timeouts.Load(); n != 1 {
+		t.Errorf("timeouts counter = %d, want 1", n)
+	}
+
+	rr := httptest.NewRecorder()
+	srv.handleMetrics(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), "rppm_request_timeouts_total 1") {
+		t.Error("/metrics missing rppm_request_timeouts_total 1")
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+
+	"rppm/internal/storefs"
 )
 
 // Main is the shared entry point behind `rppm-serve` and `rppm serve`: it
@@ -24,6 +26,8 @@ func Main(args []string) int {
 	maxBytes := fs.String("max-bytes", "0", "resident cache budget, e.g. 256MiB (0 = unbounded)")
 	traceDir := fs.String("trace-dir", "", "directory for persisted traces (.rpt) and profiles (.rpp): spill on capture, reload on miss — a restart never re-profiles a seen key (empty = memory only)")
 	maxInflight := fs.Int("max-inflight", DefaultMaxInflight, "admitted concurrent predict/sweep requests before 429")
+	reqTimeout := fs.Duration("request-timeout", DefaultRequestTimeout, "per-request deadline for predict/sweep, threaded through the engine (504 on expiry; negative disables)")
+	chaos := fs.String("chaos", "", "dev-only fault injection for the artifact store, e.g. 'write:5,rename:7@enospc' (op:N fails every Nth op; @enospc selects the error)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -40,19 +44,33 @@ func Main(args []string) int {
 		}
 	}
 
-	srv := New(Config{
-		Workers:     *parallel,
-		MaxBytes:    budget,
-		TraceDir:    *traceDir,
-		MaxInflight: *maxInflight,
-		Log:         logger,
-	})
+	cfg := Config{
+		Workers:        *parallel,
+		MaxBytes:       budget,
+		TraceDir:       *traceDir,
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+		Log:            logger,
+	}
+	if *chaos != "" {
+		// Deliberate self-sabotage for resilience drills: every spill and
+		// reload goes through a fault-injecting filesystem, and the store's
+		// retry/quarantine/breaker machinery has to absorb the damage.
+		fault, err := storefs.ParseChaos(storefs.OS, *chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rppm-serve:", err)
+			return 2
+		}
+		cfg.StoreFS = fault
+		logger.Printf("CHAOS MODE: injecting store faults (%s) — not for production", *chaos)
+	}
+	srv := New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	logger.Printf("listening on %s (workers=%d, budget=%s, trace-dir=%q, max-inflight=%d)",
-		*addr, srv.eng.Workers(), FormatBytes(budget), *traceDir, *maxInflight)
+	logger.Printf("listening on %s (workers=%d, budget=%s, trace-dir=%q, max-inflight=%d, request-timeout=%s)",
+		*addr, srv.eng.Workers(), FormatBytes(budget), *traceDir, *maxInflight, *reqTimeout)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil && err != http.ErrServerClosed {
 		logger.Printf("%v", err)
 		return 1

@@ -48,8 +48,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("rppm_inflight_requests", "Admitted heavy requests currently in flight.", s.inflight.Load())
 	gauge("rppm_inflight_limit", "Admission bound on concurrent heavy requests.", int64(cap(s.admit)))
 	counter("rppm_rejected_total", "Requests rejected with 429 at the admission bound.", s.rejected.Load())
+	counter("rppm_panics_total", "Handler panics contained by the recovery middleware.", s.panics.Load())
+	counter("rppm_request_timeouts_total", "Requests answered with 504 at the per-request deadline.", s.timeouts.Load())
 	gauge("rppm_engine_workers", "Engine worker-pool size.", int64(s.eng.Workers()))
 	gauge("rppm_uptime_seconds", "Seconds since server start.", int64(uptimeSeconds(s)))
+
+	if a := s.store; a != nil {
+		counter("rppm_store_retries_total", "Transient artifact-store I/O errors retried with backoff.", a.retries.Load())
+		counter("rppm_store_quarantined_total", "Artifacts quarantined (renamed *.corrupt) after failing validation.", a.quarantines.Load())
+		counter("rppm_store_breaker_trips_total", "Times a store circuit breaker tripped open.",
+			a.loadBr.trips.Load()+a.storeBr.trips.Load())
+		fmt.Fprintf(&b, "# HELP rppm_store_breaker_state Store breaker per direction: 0=closed 1=half-open 2=open.\n# TYPE rppm_store_breaker_state gauge\n")
+		fmt.Fprintf(&b, "rppm_store_breaker_state{direction=\"load\"} %d\n", a.loadBr.state())
+		fmt.Fprintf(&b, "rppm_store_breaker_state{direction=\"store\"} %d\n", a.storeBr.state())
+		fmt.Fprintf(&b, "# HELP rppm_store_failures_total Store operations that exhausted their retry budget, per direction.\n# TYPE rppm_store_failures_total counter\n")
+		fmt.Fprintf(&b, "rppm_store_failures_total{direction=\"load\"} %d\n", a.loadFails.Load())
+		fmt.Fprintf(&b, "rppm_store_failures_total{direction=\"store\"} %d\n", a.storeFails.Load())
+		fmt.Fprintf(&b, "# HELP rppm_store_skipped_total Store operations skipped while a breaker was open, per direction.\n# TYPE rppm_store_skipped_total counter\n")
+		fmt.Fprintf(&b, "rppm_store_skipped_total{direction=\"load\"} %d\n", a.loadBr.skipped.Load())
+		fmt.Fprintf(&b, "rppm_store_skipped_total{direction=\"store\"} %d\n", a.storeBr.skipped.Load())
+	}
 
 	fmt.Fprintf(&b, "# HELP rppm_requests_total Requests served per endpoint.\n# TYPE rppm_requests_total counter\n")
 	fmt.Fprintf(&b, "# HELP rppm_request_errors_total Requests answered with a 4xx/5xx per endpoint.\n# TYPE rppm_request_errors_total counter\n")

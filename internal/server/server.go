@@ -6,11 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"log"
-	"math"
 	"mime"
 	"net/http"
-	"os"
-	"path/filepath"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -18,10 +16,8 @@ import (
 
 	"rppm/internal/arch"
 	"rppm/internal/engine"
-	"rppm/internal/profilefmt"
-	"rppm/internal/profiler"
 	"rppm/internal/stats"
-	"rppm/internal/trace"
+	"rppm/internal/storefs"
 	"rppm/internal/workload"
 )
 
@@ -42,6 +38,19 @@ type Config struct {
 	// a previously-seen key reloads the persisted profile instead of
 	// re-running the profiling pass.
 	TraceDir string
+	// StoreFS is the filesystem persistence goes through; nil selects the
+	// host filesystem (storefs.OS). Tests and the -chaos flag install a
+	// storefs.Fault here to inject disk failures.
+	StoreFS storefs.FS
+	// Store tunes the artifact store's failure handling (retry budget,
+	// backoff, circuit breaker); the zero value selects the defaults
+	// documented on StorePolicy.
+	Store StorePolicy
+	// RequestTimeout bounds each admitted /v1/predict and /v1/sweep
+	// request end to end: the deadline is threaded through the engine
+	// context, and a request that exceeds it is answered with 504. 0
+	// selects DefaultRequestTimeout; negative disables the deadline.
+	RequestTimeout time.Duration
 	// MaxInflight bounds admitted concurrent /v1/predict and /v1/sweep
 	// requests (executing plus queued on the engine pool); excess requests
 	// are rejected with 429. 0 selects DefaultMaxInflight.
@@ -57,6 +66,12 @@ type Config struct {
 // enough to keep a wide pool busy with queued work, small enough that a
 // traffic spike degrades into fast 429s instead of an unbounded queue.
 const DefaultMaxInflight = 64
+
+// DefaultRequestTimeout is the per-request deadline when
+// Config.RequestTimeout is 0: generous for the heaviest admissible sweep,
+// tight enough that a wedged request cannot hold its admission slot
+// forever.
+const DefaultRequestTimeout = 30 * time.Second
 
 // MaxSweepConfigs bounds the design-space size one /v1/sweep request may
 // ask for: each point costs a cycle-level simulation, so the parameter
@@ -80,9 +95,15 @@ type Server struct {
 	mux  *http.ServeMux
 	logf func(format string, args ...any)
 
+	// store is the fault-tolerant persistence layer; nil when TraceDir is
+	// unset (memory-only serving).
+	store *artifactStore
+
 	admit    chan struct{}
 	inflight atomic.Int64
 	rejected atomic.Uint64
+	panics   atomic.Uint64
+	timeouts atomic.Uint64
 	started  time.Time
 
 	predictM, sweepM, listM, healthM endpointMetrics
@@ -92,6 +113,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = DefaultMaxInflight
+	}
+	switch {
+	case cfg.RequestTimeout == 0:
+		cfg.RequestTimeout = DefaultRequestTimeout
+	case cfg.RequestTimeout < 0:
+		cfg.RequestTimeout = 0 // explicit opt-out: no per-request deadline
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -105,10 +132,14 @@ func New(cfg Config) *Server {
 	}
 	opts := engine.SessionOptions{MaxBytes: cfg.MaxBytes}
 	if cfg.TraceDir != "" {
-		opts.LoadRecorded = s.loadTrace
-		opts.StoreRecorded = s.storeTrace
-		opts.LoadProfile = s.loadProfile
-		opts.StoreProfile = s.storeProfile
+		s.store = newArtifactStore(cfg.StoreFS, cfg.TraceDir, cfg.Store, func(format string, args ...any) {
+			s.logf(format, args...)
+		})
+		s.store.cleanupTemps()
+		opts.LoadRecorded = s.store.loadTrace
+		opts.StoreRecorded = s.store.storeTrace
+		opts.LoadProfile = s.store.loadProfile
+		opts.StoreProfile = s.store.storeProfile
 	}
 	s.sess = s.eng.NewSessionWith(opts)
 
@@ -128,86 +159,6 @@ func (s *Server) Session() *engine.Session { return s.sess }
 
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
-
-// --- trace persistence -------------------------------------------------
-
-// tracePath encodes a cache key as a stable filename: benchmark, seed and
-// the exact float bits of scale, so distinct keys can never collide and a
-// reloaded file maps back to precisely the key that wrote it.
-func (s *Server) tracePath(k engine.Key) string {
-	name := fmt.Sprintf("%s_%d_%016x.rpt", k.Bench, k.Seed, math.Float64bits(k.Scale))
-	return filepath.Join(s.cfg.TraceDir, name)
-}
-
-func (s *Server) loadTrace(k engine.Key) (*trace.Recorded, bool) {
-	rec, err := trace.ReadFile(s.tracePath(k))
-	if err != nil {
-		if !errors.Is(err, os.ErrNotExist) {
-			s.logf("trace reload %s: %v", s.tracePath(k), err)
-		}
-		return nil, false
-	}
-	if rec.Name() != k.Bench {
-		s.logf("trace reload %s: names %q, ignoring", s.tracePath(k), rec.Name())
-		return nil, false
-	}
-	return rec, true
-}
-
-func (s *Server) storeTrace(k engine.Key, rec *trace.Recorded) {
-	if err := rec.WriteFile(s.tracePath(k)); err != nil {
-		// Persistence is an optimization: serving continues from memory.
-		s.logf("trace spill %s: %v", s.tracePath(k), err)
-	}
-}
-
-// ProfileSpillPath returns the file a profile for pk is persisted under in
-// a trace dir: the tracePath scheme extended with the profiler options the
-// profile was collected under, so the same workload profiled with different
-// window parameters maps to distinct files. Exported so `rppm profile` can
-// pre-seed a spill directory with exactly the names the server will look up.
-func ProfileSpillPath(dir string, pk engine.ProfileKey) string {
-	nc := 0
-	if pk.Opts.NoCoherence {
-		nc = 1
-	}
-	name := fmt.Sprintf("%s_%d_%016x_w%d_i%d_nc%d.rpp",
-		pk.Bench, pk.Seed, math.Float64bits(pk.Scale),
-		pk.Opts.WindowSize, pk.Opts.WindowInterval, nc)
-	return filepath.Join(dir, name)
-}
-
-func (s *Server) profilePath(pk engine.ProfileKey) string {
-	return ProfileSpillPath(s.cfg.TraceDir, pk)
-}
-
-// loadProfile reloads a persisted profile on a cache miss or a compact-tier
-// promotion: the path that lets a restarted replica serve cold predictions
-// without ever running the profiling pass.
-func (s *Server) loadProfile(pk engine.ProfileKey) (*profiler.Profile, bool) {
-	path := s.profilePath(pk)
-	prof, opts, err := profilefmt.ReadFile(path)
-	if err != nil {
-		if !errors.Is(err, os.ErrNotExist) {
-			s.logf("profile reload %s: %v", path, err)
-		}
-		return nil, false
-	}
-	// The filename encodes the key, but trust only the file contents: a
-	// renamed or hand-placed file must not serve the wrong workload.
-	if prof.Name != pk.Bench || opts != pk.Opts || prof.Compact {
-		s.logf("profile reload %s: contents (%q, %+v, compact=%v) do not match key, ignoring",
-			path, prof.Name, opts, prof.Compact)
-		return nil, false
-	}
-	return prof, true
-}
-
-func (s *Server) storeProfile(pk engine.ProfileKey, prof *profiler.Profile) {
-	if err := profilefmt.WriteFile(s.profilePath(pk), prof, pk.Opts); err != nil {
-		s.logf("profile spill %s: %v", s.profilePath(pk), err)
-	}
-}
 
 // --- request plumbing ---------------------------------------------------
 
@@ -239,36 +190,67 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// statusRecorder captures the response code for the error counters.
+// statusRecorder captures the response code for the error counters and
+// whether anything was written, so the panic middleware knows if a 500
+// body can still be sent.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency tracking.
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with request counting, latency tracking and
+// panic containment: a handler panic is answered with a 500 (when the
+// response has not started) and counted, instead of killing the
+// connection — the engine's own unwind paths guarantee the panicked
+// request released its worker slot and pins, so the server stays
+// serviceable.
 func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if !rec.wrote {
+					writeErr(rec, &httpError{code: http.StatusInternalServerError,
+						msg: "internal error (see server log)"})
+				} else {
+					// Mid-stream panic: the response is already on the
+					// wire and cannot be rewritten; count it as an error.
+					rec.code = http.StatusInternalServerError
+				}
+			}
+			m.total.Add(1)
+			if rec.code >= 400 {
+				m.errors.Add(1)
+			}
+			m.latency.Observe(time.Since(start))
+		}()
 		h(rec, r)
-		m.total.Add(1)
-		if rec.code >= 400 {
-			m.errors.Add(1)
-		}
-		m.latency.Observe(time.Since(start))
 	}
 }
 
-// admitHeavy is instrument plus bounded admission: when MaxInflight
-// requests are already admitted, the request is rejected immediately with
-// 429 and a Retry-After hint, so overload degrades into cheap rejections
-// instead of an unbounded queue (the engine pool already bounds the work
-// actually executing; this bounds the line in front of it).
+// admitHeavy is instrument plus bounded admission and the per-request
+// deadline: when MaxInflight requests are already admitted, the request is
+// rejected immediately with 429 and a Retry-After hint, so overload
+// degrades into cheap rejections instead of an unbounded queue (the engine
+// pool already bounds the work actually executing; this bounds the line in
+// front of it). Admitted requests run under Config.RequestTimeout,
+// threaded through the engine context, so one wedged request cannot hold
+// its admission slot forever.
 func (s *Server) admitHeavy(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
 	return s.instrument(m, func(w http.ResponseWriter, r *http.Request) {
 		select {
@@ -278,6 +260,11 @@ func (s *Server) admitHeavy(m *endpointMetrics, h http.HandlerFunc) http.Handler
 				s.inflight.Add(-1)
 				<-s.admit
 			}()
+			if s.cfg.RequestTimeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
 			h(w, r)
 		default:
 			s.rejected.Add(1)
@@ -286,6 +273,20 @@ func (s *Server) admitHeavy(m *endpointMetrics, h http.HandlerFunc) http.Handler
 				msg: fmt.Sprintf("server at capacity (%d requests in flight)", cap(s.admit))})
 		}
 	})
+}
+
+// writeReqErr maps a heavy-request failure to its response: a request that
+// ran out of its deadline becomes a 504 (and is counted), anything else
+// goes through the regular error mapping. A client that hung up gets the
+// generic path — the response is unread either way.
+func (s *Server) writeReqErr(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == context.DeadlineExceeded {
+		s.timeouts.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{
+			"error": fmt.Sprintf("request exceeded the %s deadline", s.cfg.RequestTimeout)})
+		return
+	}
+	writeErr(w, err)
 }
 
 // decodeRequest fills req from the URL query (GET) or a JSON body (POST
@@ -332,11 +333,23 @@ func parseBool(s string) bool {
 // --- endpoints ----------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// persistence reports the artifact store's health without failing the
+	// probe: "degraded" means a circuit breaker is open or probing and the
+	// replica serves from memory only — still correct, just slower on cold
+	// keys — so the answer stays 200 and orchestrators keep routing here.
+	persistence := "disabled"
+	if s.store != nil {
+		persistence = "ok"
+		if s.store.degraded() {
+			persistence = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"benchmarks":     len(workload.Suite()),
 		"workers":        s.eng.Workers(),
+		"persistence":    persistence,
 	})
 }
 
@@ -395,7 +408,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := BuildPredict(r.Context(), s.sess, bm, cfg, req)
 	if err != nil {
-		writeErr(w, err)
+		s.writeReqErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -453,7 +466,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := BuildSweep(r.Context(), s.sess, bm, req)
 	if err != nil {
-		writeErr(w, err)
+		s.writeReqErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -463,7 +476,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // is canceled, then drains in-flight requests (graceful SIGTERM handling
 // when ctx comes from signal.NotifyContext).
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
-	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	// A misbehaving client must not hold a connection open indefinitely:
+	// headers get a tight bound, bodies (tiny JSON here) a generous one,
+	// and writes are bounded by the request deadline plus slack for
+	// serializing large sweep responses to a slow reader.
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if s.cfg.RequestTimeout > 0 {
+		hs.WriteTimeout = s.cfg.RequestTimeout + time.Minute
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {

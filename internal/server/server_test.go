@@ -352,9 +352,8 @@ func TestProfileReloadRejectsMismatch(t *testing.T) {
 	// Rename the spilled profile onto another benchmark's key: the loader
 	// trusts file contents over filename, detects the name mismatch and
 	// falls back to profiling.
-	srv := New(Config{Workers: 2, TraceDir: dir})
-	src := srv.profilePath(engine.ProfileKey{Key: engine.Key{Bench: "swaptions", Seed: 1, Scale: 0.05}})
-	dst := srv.profilePath(engine.ProfileKey{Key: engine.Key{Bench: "kmeans", Seed: 1, Scale: 0.05}})
+	src := ProfileSpillPath(dir, engine.ProfileKey{Key: engine.Key{Bench: "swaptions", Seed: 1, Scale: 0.05}})
+	dst := ProfileSpillPath(dir, engine.ProfileKey{Key: engine.Key{Bench: "kmeans", Seed: 1, Scale: 0.05}})
 	if err := os.Rename(src, dst); err != nil {
 		t.Fatal(err)
 	}

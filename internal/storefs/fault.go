@@ -1,0 +1,319 @@
+package storefs
+
+import (
+	"fmt"
+	iofs "io/fs"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op identifies one class of filesystem operation a fault rule can target.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpCreate
+	OpRename
+	OpRemove
+	OpReadDir
+	OpRead
+	OpWrite
+	OpSync
+	OpClose
+	numOps
+)
+
+var opNames = [...]string{
+	"open", "create", "rename", "remove", "readdir", "read", "write", "sync", "close",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// ParseOp resolves an operation name ("open", "write", ...) used by the
+// -chaos flag's schedule spec.
+func ParseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if n == s {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("storefs: unknown operation %q (want one of %s)",
+		s, strings.Join(opNames[:], ", "))
+}
+
+// FaultError is the error a Fault FS injects. It wraps the scheduled
+// underlying error (syscall.EIO by default, syscall.ENOSPC for disk-full
+// scripts), so errors.Is sees the errno while Transient recognizes the
+// injection.
+type FaultError struct {
+	Op   Op
+	Path string
+	Err  error
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("storefs: injected %s fault on %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// Rule is one entry in a fault schedule. The zero Path matches every path;
+// otherwise Path matches by substring (temp files have random name
+// suffixes, so exact paths are rarely known up front).
+//
+// Occurrence selection, evaluated against the per-rule count of matching
+// operations (1-based): Nth != 0 fails exactly the Nth match; Every != 0
+// fails every Every'th match; both zero fails every match (fail-always).
+// Err is the injected error (nil selects syscall.EIO).
+//
+// ShortBytes > 0 turns a write fault into a torn write: the first
+// ShortBytes bytes of the faulted write reach the underlying file before
+// the error is returned, modeling a partial page flush on a full or dying
+// disk (pair with Err = syscall.ENOSPC for the classic disk-full tear).
+// Torn writes only make sense for OpWrite rules.
+type Rule struct {
+	Op         Op
+	Path       string
+	Nth        uint64
+	Every      uint64
+	Err        error
+	ShortBytes int
+}
+
+// Fault wraps an FS with scripted fault injection and per-op counters. It
+// is safe for concurrent use. A Fault with no rules is transparent, so a
+// test (or the -chaos flag) can install and clear schedules while the
+// store runs.
+type Fault struct {
+	inner FS
+
+	mu     sync.Mutex
+	rules  []faultRule
+	counts [numOps]uint64
+}
+
+type faultRule struct {
+	Rule
+	seen uint64 // matching operations observed so far
+}
+
+// NewFault wraps inner with an empty fault schedule.
+func NewFault(inner FS) *Fault {
+	return &Fault{inner: inner}
+}
+
+// Script appends rules to the schedule. Rules are evaluated in order; the
+// first one that decides to fire wins.
+func (f *Fault) Script(rules ...Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range rules {
+		f.rules = append(f.rules, faultRule{Rule: r})
+	}
+}
+
+// FailNth schedules the nth matching op (1-based) on paths containing
+// substr to fail with err (nil = EIO).
+func (f *Fault) FailNth(op Op, substr string, n uint64, err error) {
+	f.Script(Rule{Op: op, Path: substr, Nth: n, Err: err})
+}
+
+// FailAlways schedules every matching op on paths containing substr to
+// fail with err (nil = EIO).
+func (f *Fault) FailAlways(op Op, substr string, err error) {
+	f.Script(Rule{Op: op, Path: substr, Err: err})
+}
+
+// Heal clears the schedule (counters are preserved): the disk works again.
+func (f *Fault) Heal() {
+	f.mu.Lock()
+	f.rules = nil
+	f.mu.Unlock()
+}
+
+// Count returns how many operations of kind op have been attempted
+// (including ones that were failed by the schedule).
+func (f *Fault) Count(op Op) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// check counts the operation and consults the schedule. It returns the
+// error to inject (nil to let the op through) and, for torn writes, how
+// many bytes to let through first (-1 = all).
+func (f *Fault) check(op Op, path string) (error, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Op != op || (r.Path != "" && !strings.Contains(path, r.Path)) {
+			continue
+		}
+		r.seen++
+		fire := false
+		switch {
+		case r.Nth != 0:
+			fire = r.seen == r.Nth
+		case r.Every != 0:
+			fire = r.seen%r.Every == 0
+		default:
+			fire = true
+		}
+		if !fire {
+			continue
+		}
+		err := r.Err
+		if err == nil {
+			err = syscall.EIO
+		}
+		short := -1
+		if r.ShortBytes > 0 {
+			short = r.ShortBytes
+		}
+		return &FaultError{Op: op, Path: path, Err: err}, short
+	}
+	return nil, -1
+}
+
+func (f *Fault) Open(name string) (File, error) {
+	if err, _ := f.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: file}, nil
+}
+
+func (f *Fault) Create(name string) (File, error) {
+	if err, _ := f.check(OpCreate, name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: file}, nil
+}
+
+func (f *Fault) CreateTemp(dir, pattern string) (File, error) {
+	// Temp creation is matched against the pattern-carrying path so rules
+	// can target ".rppmtrc-" / ".rppmprof-" before the random name exists.
+	if err, _ := f.check(OpCreate, dir+"/"+pattern); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: file}, nil
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	// Match on the destination: that is the name the store knows.
+	if err, _ := f.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Fault) Remove(name string) error {
+	if err, _ := f.check(OpRemove, name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Fault) ReadDir(name string) ([]iofs.DirEntry, error) {
+	if err, _ := f.check(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+// faultFile applies the schedule to per-handle operations.
+type faultFile struct {
+	f     *Fault
+	inner File
+}
+
+func (ff *faultFile) Name() string { return ff.inner.Name() }
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err, _ := ff.f.check(OpRead, ff.inner.Name()); err != nil {
+		return 0, err
+	}
+	return ff.inner.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	err, short := ff.f.check(OpWrite, ff.inner.Name())
+	if err != nil {
+		n := 0
+		if short > 0 {
+			if short > len(p) {
+				short = len(p)
+			}
+			// Torn write: part of the payload lands before the failure.
+			n, _ = ff.inner.Write(p[:short])
+		}
+		return n, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err, _ := ff.f.check(OpSync, ff.inner.Name()); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	if err, _ := ff.f.check(OpClose, ff.inner.Name()); err != nil {
+		ff.inner.Close() // release the descriptor regardless
+		return err
+	}
+	return ff.inner.Close()
+}
+
+// ParseChaos builds a fault schedule from the -chaos dev flag's spec: a
+// comma-separated list of op:N pairs ("write:5,rename:7"), each failing
+// every Nth operation of that kind with EIO ("op:N@enospc" injects ENOSPC
+// instead). The returned FS wraps inner.
+func ParseChaos(inner FS, spec string) (*Fault, error) {
+	f := NewFault(inner)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var injected error
+		if s, ok := strings.CutSuffix(part, "@enospc"); ok {
+			part, injected = s, syscall.ENOSPC
+		}
+		opText, nText, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("storefs: chaos rule %q: want op:N", part)
+		}
+		op, err := ParseOp(opText)
+		if err != nil {
+			return nil, err
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(nText, "%d", &n); err != nil || n == 0 {
+			return nil, fmt.Errorf("storefs: chaos rule %q: N must be a positive integer", part)
+		}
+		f.Script(Rule{Op: op, Every: n, Err: injected})
+	}
+	return f, nil
+}

@@ -1,0 +1,188 @@
+// Package storefs is the filesystem seam under the artifact store: every
+// byte the persistence layer (internal/trace file v1, internal/profilefmt
+// file v2) moves to or from disk goes through the FS interface defined
+// here. Production code uses OS, a thin wrapper over the os package that
+// adds the crash-safety discipline the store relies on (fsync before the
+// atomic rename, startup cleanup of stale temp files). Tests — and the
+// `-chaos` dev flag of rppm-serve — substitute a Fault FS (fault.go) that
+// injects scripted failures (fail-Nth, fail-always, torn writes, ENOSPC)
+// at any operation, which is what lets the serving layer's retry,
+// quarantine and circuit-breaker machinery be exercised deterministically.
+package storefs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+// File is the handle type the store reads and writes artifacts through.
+// Sync is part of the interface because the atomic-write protocol flushes
+// file contents to stable storage before the rename publishes the name: a
+// crash between rename and writeback must never leave a torn file visible
+// under the final path.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the path the file was opened or created under.
+	Name() string
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+}
+
+// FS is the artifact store's view of a filesystem. Implementations must be
+// safe for concurrent use.
+type FS interface {
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+	// Create creates or truncates the named file for writing.
+	Create(name string) (File, error)
+	// CreateTemp creates a new temporary file in dir using pattern (as
+	// os.CreateTemp), opened for writing.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically moves oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// ReadDir lists the named directory.
+	ReadDir(name string) ([]iofs.DirEntry, error)
+}
+
+// osFS is the production implementation: the os package, verbatim.
+type osFS struct{}
+
+// OS is the production FS.
+var OS FS = osFS{}
+
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]iofs.DirEntry, error) {
+	return os.ReadDir(name)
+}
+
+// TempPrefixes are the temp-file name prefixes WriteAtomic (via the trace
+// and profilefmt writers) creates artifacts under. A name carrying one of
+// them is an unpublished partial write: either an in-flight spill or — if
+// it survived a restart — garbage from a crash, which CleanupTemps removes.
+var TempPrefixes = []string{".rppmtrc-", ".rppmprof-"}
+
+// CorruptSuffix is appended to an artifact's filename when the serving
+// layer quarantines it: the file failed checksum or structural validation,
+// so it is renamed out of the lookup namespace, never re-read, and kept
+// for post-mortem (`rppm-diag fsck` reports quarantined files).
+const CorruptSuffix = ".corrupt"
+
+// IsTempName reports whether base is a store temp-file name.
+func IsTempName(base string) bool {
+	for _, p := range TempPrefixes {
+		if strings.HasPrefix(base, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteAtomic publishes a file at path with full crash safety: the payload
+// is produced by write into a temp file in the same directory (pattern as
+// os.CreateTemp, e.g. ".rppmtrc-*"), synced to stable storage, closed, and
+// renamed into place. A reader can observe either the old state of path or
+// the complete new file, never a prefix; a crash at any point leaves at
+// worst a stale temp file, which CleanupTemps collects on the next start.
+// On any error the temp file is removed (best effort) and path is
+// untouched.
+func WriteAtomic(fsys FS, path, pattern string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, pattern)
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	defer fsys.Remove(name) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(name, path)
+}
+
+// CleanupTemps removes stale store temp files from dir: the debris a crash
+// (or a failed spill whose Remove also failed) leaves behind. It returns
+// the number of temp files removed. Errors removing individual files are
+// ignored — cleanup is opportunistic and runs again next start — but a
+// failure to list the directory is reported.
+func CleanupTemps(fsys FS, dir string) (int, error) {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range ents {
+		if e.IsDir() || !IsTempName(e.Name()) {
+			continue
+		}
+		if fsys.Remove(filepath.Join(dir, e.Name())) == nil {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Transient reports whether err looks like an infrastructure I/O failure —
+// something retrying or waiting out can fix: a path/syscall error from the
+// operating system, or an injected fault from a Fault FS. Content-level
+// decode failures (bad magic, checksum mismatch, truncated or structurally
+// invalid payload) are deliberately NOT transient: re-reading the same
+// bytes cannot heal them, so the store quarantines the file instead of
+// retrying. os.ErrNotExist is not transient either — a missing artifact is
+// a plain cache miss, not a fault.
+func Transient(err error) bool {
+	if err == nil || errors.Is(err, os.ErrNotExist) {
+		return false
+	}
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		return true
+	}
+	var pe *iofs.PathError
+	if errors.As(err, &pe) {
+		return true
+	}
+	var le *os.LinkError // rename failures
+	if errors.As(err, &le) {
+		return true
+	}
+	var errno syscall.Errno
+	return errors.As(err, &errno)
+}
+
+// ReadAllCapped reads f to EOF, failing with a descriptive error if the
+// content exceeds limit bytes: the guard the profile loader uses so a
+// corrupt or adversarial file cannot drive an unbounded allocation.
+func ReadAllCapped(f io.Reader, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(f, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("storefs: file exceeds %d byte limit", limit)
+	}
+	return data, nil
+}

@@ -1,0 +1,258 @@
+package storefs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func writePayload(t *testing.T, fsys FS, path string, payload string) error {
+	t.Helper()
+	return WriteAtomic(fsys, path, ".rppmtrc-*", func(w io.Writer) error {
+		_, err := io.WriteString(w, payload)
+		return err
+	})
+}
+
+func TestWriteAtomicPublishesCompleteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.rpt")
+	if err := writePayload(t, OS, path, "hello"); err != nil {
+		t.Fatalf("WriteAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v; want %q", got, err, "hello")
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after publish, want 1 (no temp debris)", len(ents))
+	}
+}
+
+// Failing any stage of the atomic-write protocol must leave the target
+// path untouched and no temp debris behind.
+func TestWriteAtomicFaultLeavesNoPartialFile(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		op   Op
+	}{
+		{"create", OpCreate}, {"write", OpWrite}, {"sync", OpSync},
+		{"close", OpClose}, {"rename", OpRename},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "a.rpt")
+			f := NewFault(OS)
+			f.FailNth(tc.op, "", 1, nil)
+			err := writePayload(t, f, path, "hello")
+			if err == nil {
+				t.Fatalf("WriteAtomic succeeded despite %s fault", tc.name)
+			}
+			var fe *FaultError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %v does not unwrap to FaultError", err)
+			}
+			if !Transient(err) {
+				t.Errorf("injected %s fault not classified transient: %v", tc.name, err)
+			}
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Errorf("target path exists after failed write (stat err %v)", err)
+			}
+			ents, _ := os.ReadDir(dir)
+			for _, e := range ents {
+				if tc.op == OpRemove {
+					continue
+				}
+				// Close/rename faults can strand the temp only if Remove also
+				// failed; nothing is scheduled against Remove here.
+				t.Errorf("debris left after failed write: %s", e.Name())
+			}
+		})
+	}
+}
+
+func TestTornWriteLeavesPrefixOnly(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault(OS)
+	f.Script(Rule{Op: OpWrite, Nth: 1, Err: syscall.ENOSPC, ShortBytes: 3})
+	// Bypass WriteAtomic's cleanup so the torn temp is observable.
+	tmp, err := f.CreateTemp(dir, ".rppmtrc-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	n, err := tmp.Write([]byte("hello world"))
+	if n != 3 {
+		t.Errorf("torn write reported %d bytes, want 3", n)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("torn write error %v does not unwrap to ENOSPC", err)
+	}
+	tmp.Close()
+	got, rerr := os.ReadFile(tmp.Name())
+	if rerr != nil || string(got) != "hel" {
+		t.Errorf("torn temp holds %q, %v; want %q", got, rerr, "hel")
+	}
+}
+
+func TestFailNthHealsAfterFiring(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.rpt")
+	f := NewFault(OS)
+	f.FailNth(OpCreate, "", 1, nil)
+	if err := writePayload(t, f, path, "x"); err == nil {
+		t.Fatal("first create did not fail")
+	}
+	if err := writePayload(t, f, path, "x"); err != nil {
+		t.Fatalf("second attempt failed after one-shot fault: %v", err)
+	}
+	if got := f.Count(OpCreate); got != 2 {
+		t.Errorf("create count = %d, want 2", got)
+	}
+}
+
+func TestFailAlwaysUntilHeal(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault(OS)
+	f.FailAlways(OpOpen, ".rpt", nil)
+	if err := os.WriteFile(filepath.Join(dir, "a.rpt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Open(filepath.Join(dir, "a.rpt")); err == nil {
+			t.Fatal("open succeeded under fail-always")
+		}
+	}
+	f.Heal()
+	file, err := f.Open(filepath.Join(dir, "a.rpt"))
+	if err != nil {
+		t.Fatalf("open failed after Heal: %v", err)
+	}
+	file.Close()
+	if got := f.Count(OpOpen); got != 4 {
+		t.Errorf("open count = %d, want 4", got)
+	}
+}
+
+func TestRulePathMatching(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.rpt", "b.rpp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := NewFault(OS)
+	f.FailAlways(OpOpen, ".rpp", nil)
+	if _, err := f.Open(filepath.Join(dir, "b.rpp")); err == nil {
+		t.Error("matching path not failed")
+	}
+	file, err := f.Open(filepath.Join(dir, "a.rpt"))
+	if err != nil {
+		t.Errorf("non-matching path failed: %v", err)
+	} else {
+		file.Close()
+	}
+}
+
+func TestCleanupTemps(t *testing.T) {
+	dir := t.TempDir()
+	keep := []string{"a.rpt", "b.rpp", "c.corrupt"}
+	stale := []string{".rppmtrc-123", ".rppmprof-xyz"}
+	for _, name := range append(append([]string{}, keep...), stale...) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := CleanupTemps(OS, dir)
+	if err != nil {
+		t.Fatalf("CleanupTemps: %v", err)
+	}
+	if n != len(stale) {
+		t.Errorf("removed %d temps, want %d", n, len(stale))
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != len(keep) {
+		t.Errorf("%d entries survive, want %d", len(ents), len(keep))
+	}
+	for _, e := range ents {
+		if IsTempName(e.Name()) {
+			t.Errorf("stale temp survived cleanup: %s", e.Name())
+		}
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{os.ErrNotExist, false},
+		{&os.PathError{Op: "open", Path: "x", Err: syscall.EIO}, true},
+		{&os.LinkError{Op: "rename", Old: "a", New: "b", Err: syscall.EXDEV}, true},
+		{&FaultError{Op: OpWrite, Path: "x", Err: syscall.ENOSPC}, true},
+		{fmt.Errorf("wrap: %w", &FaultError{Op: OpRead, Path: "x", Err: syscall.EIO}), true},
+		{syscall.ENOSPC, true},
+		{errors.New("trace: checksum mismatch"), false},
+		{io.ErrUnexpectedEOF, false},
+		{fmt.Errorf("open %s: %w", "x", os.ErrNotExist), false},
+	} {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("Transient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	f, err := ParseChaos(OS, "write:2,rename:3@enospc")
+	if err != nil {
+		t.Fatalf("ParseChaos: %v", err)
+	}
+	dir := t.TempDir()
+	// write:2 fails every second write.
+	tmp, err := f.CreateTemp(dir, ".rppmtrc-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Write([]byte("a")); err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	if _, err := tmp.Write([]byte("b")); err == nil {
+		t.Fatal("second write did not fail")
+	}
+	tmp.Close()
+	// rename:3@enospc fails the third rename with ENOSPC.
+	src := filepath.Join(dir, "src")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := f.Rename(src, src); err != nil {
+			t.Fatalf("rename %d failed early: %v", i, err)
+		}
+	}
+	err = f.Rename(src, src)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("third rename err = %v, want ENOSPC", err)
+	}
+
+	for _, bad := range []string{"write", "write:0", "bogus:3", "write:x"} {
+		if _, err := ParseChaos(OS, bad); err == nil {
+			t.Errorf("ParseChaos(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReadAllCapped(t *testing.T) {
+	if got, err := ReadAllCapped(strings.NewReader("abc"), 3); err != nil || string(got) != "abc" {
+		t.Errorf("at limit: %q, %v", got, err)
+	}
+	if _, err := ReadAllCapped(strings.NewReader("abcd"), 3); err == nil {
+		t.Error("over limit accepted")
+	}
+}

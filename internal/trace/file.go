@@ -7,9 +7,9 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
-	"path/filepath"
 	"unsafe"
+
+	"rppm/internal/storefs"
 )
 
 // This file implements the persistence format for Recorded traces, so a
@@ -247,29 +247,31 @@ func ReadRecorded(r io.Reader) (*Recorded, error) {
 	return rec, nil
 }
 
-// WriteFile atomically persists the recording at path: it writes to a
-// temporary file in the same directory and renames it into place, so
-// concurrent readers only ever observe complete traces.
+// WriteFile atomically persists the recording at path on the host
+// filesystem (see WriteFileFS).
 func (r *Recorded) WriteFile(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".rppmtrc-*")
-	if err != nil {
+	return r.WriteFileFS(storefs.OS, path)
+}
+
+// WriteFileFS atomically persists the recording at path on fsys: the
+// payload is written to a temporary file in the same directory, synced to
+// stable storage, and renamed into place, so concurrent readers — and
+// readers after a crash at any point — only ever observe complete traces.
+func (r *Recorded) WriteFileFS(fsys storefs.FS, path string) error {
+	return storefs.WriteAtomic(fsys, path, ".rppmtrc-*", func(w io.Writer) error {
+		_, err := r.WriteTo(w)
 		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := r.WriteTo(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	})
 }
 
 // ReadFile loads a recording persisted with WriteFile.
 func ReadFile(path string) (*Recorded, error) {
-	f, err := os.Open(path)
+	return ReadFileFS(storefs.OS, path)
+}
+
+// ReadFileFS loads a recording persisted with WriteFileFS from fsys.
+func ReadFileFS(fsys storefs.FS, path string) (*Recorded, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}

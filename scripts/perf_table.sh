@@ -56,6 +56,8 @@ ROWS = [
     ("BenchmarkSweep16Regen",    "16-config sweep (regeneration)",       "ms_per_config", msconf),
     ("BenchmarkServePredictWarm","served /v1/predict, warm cache",       "ns_per_op",    us),
     ("BenchmarkServePredictCold","served /v1/predict, cold",             "ns_per_op",    us),
+    ("BenchmarkServePredictColdPersisted",
+                                 "served /v1/predict, cold, persisted profile", "ns_per_op", us),
     ("BenchmarkFigure4",         "Figure 4 end to end",                  "ns_per_op",    s),
 ]
 

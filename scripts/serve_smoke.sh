@@ -10,7 +10,9 @@
 #   5. re-request to confirm a cache hit shows up in the metrics,
 #   6. SIGTERM and require a clean graceful drain,
 #   7. restart on the same trace dir and byte-diff a prediction served
-#      purely from the persisted profile (profiler-run counter must be 0).
+#      purely from the persisted profile (profiler-run counter must be 0),
+#   8. fsck the spill directory: every persisted artifact must validate
+#      (magic, version, CRC) and persistence must report healthy.
 #
 # Usage: scripts/serve_smoke.sh [port]
 set -euo pipefail
@@ -29,6 +31,7 @@ trap cleanup EXIT
 echo "== build" >&2
 go build -o "$WORK/rppm" ./cmd/rppm
 go build -o "$WORK/rppm-serve" ./cmd/rppm-serve
+go build -o "$WORK/rppm-diag" ./cmd/rppm-diag
 
 echo "== start rppm-serve on $ADDR" >&2
 "$WORK/rppm-serve" -addr "$ADDR" -max-bytes 256MiB -trace-dir "$WORK/traces" \
@@ -104,8 +107,17 @@ RUNS=$(curl -sf "http://$ADDR/metrics" | awk '/^rppm_profile_runs_total/ {print 
   echo "restarted server ran the profiler $RUNS times (want 0)" >&2; exit 1; }
 LOADS=$(curl -sf "http://$ADDR/metrics" | awk '/^rppm_profile_loads_total/ {print $2}')
 [ "$LOADS" -ge 1 ] || { echo "restarted server loaded no persisted profile" >&2; exit 1; }
+curl -sf "http://$ADDR/healthz" | grep -q '"persistence":"ok"' || {
+  echo "healthz does not report healthy persistence" >&2; exit 1; }
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
+
+echo "== fsck the spill directory" >&2
+"$WORK/rppm-diag" fsck "$WORK/traces" >"$WORK/fsck.out" || {
+  echo "fsck found corruption in a clean spill dir:" >&2
+  cat "$WORK/fsck.out" >&2; exit 1; }
+grep -q " 0 corrupt" "$WORK/fsck.out" || {
+  echo "fsck summary reports corruption:" >&2; cat "$WORK/fsck.out" >&2; exit 1; }
 
 echo "serve smoke OK" >&2
