@@ -1,8 +1,9 @@
 // Command rppm-diag prints model-vs-simulation diagnosis tables for
 // benchmarks (the default mode, `rppm-diag [BENCH...]`), inspects
 // persisted profile files from a serve spill directory
-// (`rppm-diag profile FILE.rpp...`), and validates a whole spill
-// directory's artifacts (`rppm-diag fsck DIR`).
+// (`rppm-diag profile FILE.rpp...`), validates a whole spill
+// directory's artifacts (`rppm-diag fsck DIR`), and summarizes a serve
+// instance's recent request traces (`rppm-diag trace URL`).
 package main
 
 import (
@@ -24,6 +25,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "fsck" {
 		os.Exit(fsck(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(traceCmd(os.Args[2:]))
 	}
 	cfg := arch.Base()
 	scale := 0.3

@@ -38,8 +38,12 @@ func main() {
 	opts := rppm.EngineOptions{Workers: *parallel}
 	if *progress {
 		opts.Progress = func(ev rppm.EngineEvent) {
-			fmt.Fprintf(os.Stderr, "# %-8s %-16s %-10s %6.2fs\n",
-				ev.Kind, ev.Bench, ev.Config, ev.Duration.Seconds())
+			wait := ""
+			if ev.Wait > 0 {
+				wait = fmt.Sprintf("  (+%0.2fs queued)", ev.Wait.Seconds())
+			}
+			fmt.Fprintf(os.Stderr, "# %-8s %-16s %-10s %6.2fs%s\n",
+				ev.Kind, ev.Bench, ev.Config, ev.Duration.Seconds(), wait)
 		}
 	}
 	session := rppm.NewEngine(opts).NewSession()

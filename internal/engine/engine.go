@@ -69,6 +69,11 @@ type Event struct {
 	Seed     uint64
 	Scale    float64
 	Duration time.Duration
+	// Wait is how long the job queued for a worker-pool slot before
+	// Duration started: Wait+Duration is the stage's contribution to the
+	// caller's wall time, and a large Wait with a small Duration means the
+	// pool, not the work, is the bottleneck.
+	Wait time.Duration
 }
 
 // ProgressFunc receives progress events. It may be called concurrently from
@@ -127,6 +132,27 @@ func (e *Engine) acquire(ctx context.Context) error {
 }
 
 func (e *Engine) release() { <-e.slots }
+
+// acquireTimed is acquire plus a measurement of how long the caller
+// queued for the slot (zero when one was free immediately), feeding
+// Event.Wait and the per-stage span attribution.
+func (e *Engine) acquireTimed(ctx context.Context) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	select {
+	case e.slots <- struct{}{}:
+		return 0, nil
+	default:
+	}
+	start := time.Now()
+	select {
+	case e.slots <- struct{}{}:
+		return time.Since(start), nil
+	case <-ctx.Done():
+		return time.Since(start), ctx.Err()
+	}
+}
 
 func (e *Engine) emit(ev Event) {
 	if e.opts.Progress != nil {

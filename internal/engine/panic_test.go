@@ -37,7 +37,7 @@ func TestPanicUnwindReleasesEntryAndSlot(t *testing.T) {
 	eng := New(Options{Workers: 1})
 	s := eng.NewSessionWith(SessionOptions{
 		MaxBytes: 1, // evict everything unpinned: leaked pins become visible
-		LoadProfile: func(ProfileKey) (*profiler.Profile, bool) {
+		LoadProfile: func(context.Context, ProfileKey) (*profiler.Profile, bool) {
 			if boom {
 				panic("injected hook failure")
 			}

@@ -5,12 +5,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"rppm/internal/arch"
 	"rppm/internal/core"
 	"rppm/internal/interval"
+	"rppm/internal/obs"
 	"rppm/internal/profiler"
 	"rppm/internal/sim"
 	"rppm/internal/trace"
@@ -80,13 +83,15 @@ type SessionOptions struct {
 	// reload hook. A successful load counts as a trace load in Stats, and
 	// no EventRecord is emitted. The loaded recording must replay
 	// identically to a fresh capture (guaranteed by the trace file
-	// format's differential round-trip test).
-	LoadRecorded func(Key) (*trace.Recorded, bool)
+	// format's differential round-trip test). The context is the
+	// requesting caller's (request-scoped observability rides in it); the
+	// hook must not use it for cancellation-sensitive cleanup.
+	LoadRecorded func(context.Context, Key) (*trace.Recorded, bool)
 
 	// StoreRecorded, when non-nil, receives every freshly captured
 	// recording, synchronously from the capturing goroutine — the serving
 	// layer's trace-dir spill hook. Loads do not re-store.
-	StoreRecorded func(Key, *trace.Recorded)
+	StoreRecorded func(context.Context, Key, *trace.Recorded)
 
 	// LoadProfile, when non-nil, is consulted on a profile cache miss
 	// before paying the profiling pass, and again when promoting a
@@ -98,12 +103,12 @@ type SessionOptions struct {
 	// is emitted: the profiler did not run. The loaded profile must drive
 	// bit-identical predictions to a fresh profiling pass (guaranteed by
 	// the profile format's differential round-trip test).
-	LoadProfile func(ProfileKey) (*profiler.Profile, bool)
+	LoadProfile func(context.Context, ProfileKey) (*profiler.Profile, bool)
 
 	// StoreProfile, when non-nil, receives every freshly collected
 	// profile, synchronously from the profiling goroutine. Loads do not
 	// re-store.
-	StoreProfile func(ProfileKey, *profiler.Profile)
+	StoreProfile func(context.Context, ProfileKey, *profiler.Profile)
 }
 
 // entry is one singleflight cache slot: the first requester computes, every
@@ -218,6 +223,80 @@ func (s *Session) Stats() Stats {
 		Entries:       len(s.entries),
 		Profiles:      s.profStats,
 	}
+}
+
+// CacheEntryInfo describes one resident cache entry for runtime
+// introspection (the serving layer's /debug/cache endpoint): what kind of
+// artifact it is, which workload key it belongs to, how many bytes it
+// accounts for, and whether an in-flight request currently pins it.
+type CacheEntryInfo struct {
+	Kind   string  `json:"kind"` // program | trace | profile-full | profile-compact | simulation | prediction
+	Bench  string  `json:"bench"`
+	Seed   uint64  `json:"seed"`
+	Scale  float64 `json:"scale"`
+	Config string  `json:"config,omitempty"` // simulation/prediction entries only
+	Bytes  int64   `json:"bytes"`
+	Pinned bool    `json:"pinned"`
+	// Computing marks an entry whose first requester is still running; its
+	// Bytes are not yet accounted.
+	Computing bool `json:"computing,omitempty"`
+	// Failed marks an entry caching a computation error.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// Snapshot returns a point-in-time view of every resident cache entry,
+// largest first. It holds the session lock for the duration of the copy,
+// so it is meant for debugging endpoints, not hot paths.
+func (s *Session) Snapshot() []CacheEntryInfo {
+	s.mu.Lock()
+	out := make([]CacheEntryInfo, 0, len(s.entries))
+	for k, en := range s.entries {
+		info := CacheEntryInfo{
+			Bytes:     en.size,
+			Pinned:    en.refs > 0,
+			Computing: !en.complete,
+			Failed:    en.complete && en.err != nil,
+		}
+		switch key := k.(type) {
+		case progKey:
+			info.Kind = "program"
+			info.Bench, info.Seed, info.Scale = key.Bench, key.Seed, key.Scale
+		case recKey:
+			info.Kind = "trace"
+			info.Bench, info.Seed, info.Scale = key.Bench, key.Seed, key.Scale
+		case ProfileKey:
+			info.Kind = "profile-full"
+			if p, ok := en.val.(*profiler.Profile); ok && p.Compact {
+				info.Kind = "profile-compact"
+			}
+			info.Bench, info.Seed, info.Scale = key.Bench, key.Seed, key.Scale
+		case simKey:
+			info.Kind = "simulation"
+			info.Bench, info.Seed, info.Scale = key.Bench, key.Seed, key.Scale
+			info.Config = key.Cfg.Name
+		case predKey:
+			info.Kind = "prediction"
+			info.Bench, info.Seed, info.Scale = key.Bench, key.Seed, key.Scale
+			info.Config = key.Cfg.Name
+		default:
+			info.Kind = fmt.Sprintf("%T", k)
+		}
+		out = append(out, info)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Config < out[j].Config
+	})
+	return out
 }
 
 func isCtxErr(err error) bool {
@@ -453,21 +532,56 @@ func (s *Session) Program(ctx context.Context, bm workload.Benchmark, seed uint6
 
 // programPinned is Program with the cache entry pinned for the caller.
 func (s *Session) programPinned(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64) (trace.Program, func(), error) {
+	ctx, sp := obs.StartSpan(ctx, "build")
+	computed := false
 	v, unpin, err := s.pinned(ctx, progKey{Key{bm.Name, seed, scale}}, func(ctx context.Context) (any, error) {
-		if err := s.eng.acquire(ctx); err != nil {
+		computed = true
+		wait, err := s.eng.acquireTimed(ctx)
+		if err != nil {
 			return nil, err
 		}
 		defer s.eng.release()
+		annotateWait(sp, wait)
 		start := time.Now()
 		p := bm.Build(seed, scale)
 		s.eng.emit(Event{Kind: EventBuild, Bench: bm.Name, Seed: seed, Scale: scale,
-			Duration: time.Since(start)})
+			Duration: time.Since(start), Wait: wait})
 		return p, nil
 	})
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
+	endStageSpan(sp, computed, v)
 	return v.(trace.Program), unpin, nil
+}
+
+// endStageSpan closes a pipeline-stage span with the cache outcome (miss
+// when this caller computed the value, hit otherwise) and the accounted
+// bytes of the value it touched. Nil-safe, so the untraced path pays one
+// nil check.
+func endStageSpan(sp *obs.Span, computed bool, v any) {
+	if sp == nil {
+		return
+	}
+	if computed {
+		sp.Annotate("cache", "miss")
+	} else {
+		sp.Annotate("cache", "hit")
+	}
+	if sz, ok := v.(sizer); ok {
+		sp.Annotate("bytes", strconv.FormatInt(sz.SizeBytes(), 10))
+	}
+	sp.End()
+}
+
+// annotateWait records a non-trivial pool-slot queue wait on the stage's
+// span. Nil-safe.
+func annotateWait(sp *obs.Span, wait time.Duration) {
+	if sp == nil || wait <= 0 {
+		return
+	}
+	sp.Annotate("pool_wait_us", strconv.FormatInt(wait.Microseconds(), 10))
 }
 
 // Recorded returns the packed replayable trace of (bm, seed, scale),
@@ -491,23 +605,29 @@ func (s *Session) Recorded(ctx context.Context, bm workload.Benchmark, seed uint
 // request is executing.
 func (s *Session) recordedPinned(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64) (*trace.Recorded, func(), error) {
 	k := Key{bm.Name, seed, scale}
+	ctx, sp := obs.StartSpan(ctx, "record")
+	computed := false
 	v, unpin, err := s.pinned(ctx, recKey{k}, func(ctx context.Context) (any, error) {
+		computed = true
 		// Reload hook first: a persisted trace is much cheaper than the
 		// generation pass (and does not need the program built at all).
 		if s.opts.LoadRecorded != nil {
-			if err := s.eng.acquire(ctx); err != nil {
+			wait, err := s.eng.acquireTimed(ctx)
+			if err != nil {
 				return nil, err
 			}
+			annotateWait(sp, wait)
 			rec, ok := func() (*trace.Recorded, bool) {
 				// The hook is serving-layer code; release the slot on its
 				// panic-unwind too, or N panics would wedge an N-slot pool.
 				defer s.eng.release()
-				return s.opts.LoadRecorded(k)
+				return s.opts.LoadRecorded(ctx, k)
 			}()
 			if ok {
 				s.mu.Lock()
 				s.traceLoads++
 				s.mu.Unlock()
+				obs.Annotate(ctx, "trace_source", "persisted")
 				return rec, nil
 			}
 		}
@@ -516,25 +636,29 @@ func (s *Session) recordedPinned(ctx context.Context, bm workload.Benchmark, see
 			return nil, err
 		}
 		defer unpinProg()
-		if err := s.eng.acquire(ctx); err != nil {
+		wait, err := s.eng.acquireTimed(ctx)
+		if err != nil {
 			return nil, err
 		}
 		defer s.eng.release()
+		annotateWait(sp, wait)
 		start := time.Now()
 		rec, err := trace.Record(prog)
 		if err != nil {
 			return nil, err
 		}
 		s.eng.emit(Event{Kind: EventRecord, Bench: bm.Name, Seed: seed, Scale: scale,
-			Duration: time.Since(start)})
+			Duration: time.Since(start), Wait: wait})
 		if s.opts.StoreRecorded != nil {
-			s.opts.StoreRecorded(k, rec)
+			s.opts.StoreRecorded(ctx, k, rec)
 		}
 		return rec, nil
 	})
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
+	endStageSpan(sp, computed, v)
 	return v.(*trace.Recorded), unpin, nil
 }
 
@@ -570,16 +694,19 @@ func (s *Session) ProfileOpts(ctx context.Context, bm workload.Benchmark, seed u
 // first swap wins, later ones adopt it).
 func (s *Session) profilePinned(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, opts profiler.Options) (*profiler.Profile, func(), error) {
 	pk := ProfileKey{Key{bm.Name, seed, scale}, opts}
+	ctx, sp := obs.StartSpan(ctx, "profile")
 	computed := false
 	en, err := s.get(ctx, pk, func(ctx context.Context) (any, error) {
 		computed = true
 		return s.profileValue(ctx, bm, seed, scale, opts, pk)
 	})
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
 	if en.err != nil {
 		s.release(en)
+		sp.End()
 		return nil, nil, en.err
 	}
 	prof := en.val.(*profiler.Profile)
@@ -589,15 +716,20 @@ func (s *Session) profilePinned(ctx context.Context, bm workload.Benchmark, seed
 			s.profStats.FullHits++
 			s.mu.Unlock()
 		}
+		sp.Annotate("tier", "full")
+		endStageSpan(sp, computed, prof)
 		return prof, func() { s.release(en) }, nil
 	}
 
 	s.mu.Lock()
 	s.profStats.CompactHits++
 	s.mu.Unlock()
+	sp.Annotate("tier", "compact")
+	sp.Annotate("promotion", "true")
 	v, err := s.profileValue(ctx, bm, seed, scale, opts, pk)
 	if err != nil {
 		s.release(en)
+		sp.End()
 		return nil, nil, err
 	}
 	full := v.(*profiler.Profile)
@@ -618,6 +750,7 @@ func (s *Session) profilePinned(ctx context.Context, bm workload.Benchmark, seed
 		full = cur // a concurrent promoter already swapped the full profile in
 	}
 	s.mu.Unlock()
+	endStageSpan(sp, computed, full)
 	return full, func() { s.release(en) }, nil
 }
 
@@ -635,12 +768,13 @@ func (s *Session) profileValue(ctx context.Context, bm workload.Benchmark, seed 
 			// Release the slot on the hook's panic-unwind too (see
 			// LoadRecorded).
 			defer s.eng.release()
-			return s.opts.LoadProfile(pk)
+			return s.opts.LoadProfile(ctx, pk)
 		}()
 		if ok && !prof.Compact {
 			s.mu.Lock()
 			s.profStats.Loads++
 			s.mu.Unlock()
+			obs.Annotate(ctx, "profile_source", "persisted")
 			return prof, nil
 		}
 	}
@@ -649,10 +783,12 @@ func (s *Session) profileValue(ctx context.Context, bm workload.Benchmark, seed 
 		return nil, err
 	}
 	defer unpinRec()
-	if err := s.eng.acquire(ctx); err != nil {
+	wait, err := s.eng.acquireTimed(ctx)
+	if err != nil {
 		return nil, err
 	}
 	defer s.eng.release()
+	obs.Annotate(ctx, "profile_source", "profiler")
 	start := time.Now()
 	prof, err := profiler.Run(prog, opts)
 	if err != nil {
@@ -662,9 +798,9 @@ func (s *Session) profileValue(ctx context.Context, bm workload.Benchmark, seed 
 	s.profStats.Runs++
 	s.mu.Unlock()
 	s.eng.emit(Event{Kind: EventProfile, Bench: bm.Name, Seed: seed, Scale: scale,
-		Duration: time.Since(start)})
+		Duration: time.Since(start), Wait: wait})
 	if s.opts.StoreProfile != nil {
-		s.opts.StoreProfile(pk, prof)
+		s.opts.StoreProfile(ctx, pk, prof)
 	}
 	return prof, nil
 }
@@ -683,7 +819,11 @@ func (s *Session) Simulate(ctx context.Context, bm workload.Benchmark, seed uint
 // must replay bit-identically to the recording (trace.Decode guarantees
 // this); results share the simulation cache either way.
 func (s *Session) simulateOn(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config, progFn func() trace.Program) (*sim.Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "simulate")
+	sp.Annotate("config", cfg.Name)
+	computed := false
 	v, err := s.do(ctx, simKey{Key{bm.Name, seed, scale}, cfg}, func(ctx context.Context) (any, error) {
+		computed = true
 		var p trace.Program
 		if progFn != nil {
 			p = progFn()
@@ -696,22 +836,26 @@ func (s *Session) simulateOn(ctx context.Context, bm workload.Benchmark, seed ui
 			defer unpinRec()
 			p = rec
 		}
-		if err := s.eng.acquire(ctx); err != nil {
+		wait, err := s.eng.acquireTimed(ctx)
+		if err != nil {
 			return nil, err
 		}
 		defer s.eng.release()
+		annotateWait(sp, wait)
 		start := time.Now()
 		res, err := sim.Run(p, cfg)
 		if err != nil {
 			return nil, err
 		}
 		s.eng.emit(Event{Kind: EventSimulate, Bench: bm.Name, Config: cfg.Name,
-			Seed: seed, Scale: scale, Duration: time.Since(start)})
+			Seed: seed, Scale: scale, Duration: time.Since(start), Wait: wait})
 		return res, nil
 	})
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	endStageSpan(sp, computed, v)
 	return v.(*sim.Result), nil
 }
 
@@ -839,7 +983,16 @@ func (s *Session) sweep(ctx context.Context, bm workload.Benchmark, seed uint64,
 	var decOnce sync.Once
 	var dec *trace.Decoded
 	decoded := func() trace.Program {
-		decOnce.Do(func() { dec = trace.Decode(rec) })
+		decOnce.Do(func() {
+			// The decode runs inside whichever fan-out job misses first; the
+			// span is attributed to the request that paid for it.
+			_, dsp := obs.StartSpan(ctx, "decode")
+			dec = trace.Decode(rec)
+			if dsp != nil {
+				dsp.Annotate("bytes", strconv.FormatInt(dec.SizeBytes(), 10))
+				dsp.End()
+			}
+		})
 		return dec
 	}
 	n := len(cfgs)
@@ -963,19 +1116,28 @@ func (s *Session) simulateBatch(ctx context.Context, bm workload.Benchmark, seed
 			}
 		}()
 		results, err := func() ([]*sim.Result, error) {
-			if err := s.eng.acquire(ctx); err != nil {
+			bctx, bsp := obs.StartSpan(ctx, "simulate-batch")
+			defer bsp.End()
+			if bsp != nil {
+				bsp.Annotate("width", strconv.Itoa(len(claimed)))
+				bsp.Annotate("cache", "miss")
+			}
+			wait, err := s.eng.acquireTimed(bctx)
+			if err != nil {
 				return nil, err
 			}
 			defer s.eng.release()
+			annotateWait(bsp, wait)
 			start := time.Now()
 			results, err := sim.RunBatch(progFn(), batchCfgs, sim.Hints{})
 			if err != nil {
 				return nil, err
 			}
 			per := time.Since(start) / time.Duration(len(claimed))
+			perWait := wait / time.Duration(len(claimed))
 			for j := range claimed {
 				s.eng.emit(Event{Kind: EventSimulate, Bench: bm.Name, Config: batchCfgs[j].Name,
-					Seed: seed, Scale: scale, Duration: per})
+					Seed: seed, Scale: scale, Duration: per, Wait: perWait})
 			}
 			return results, nil
 		}()
@@ -1070,16 +1232,22 @@ func (s *Session) PredictCrit(ctx context.Context, bm workload.Benchmark, seed u
 }
 
 func (s *Session) predict(ctx context.Context, bm workload.Benchmark, seed uint64, scale float64, cfg arch.Config, kind predKind, profOpts profiler.Options, modelOpts interval.ModelOptions) (any, error) {
-	return s.do(ctx, predKey{Key{bm.Name, seed, scale}, cfg, profOpts, modelOpts, kind}, func(ctx context.Context) (any, error) {
+	ctx, sp := obs.StartSpan(ctx, "predict")
+	sp.Annotate("config", cfg.Name)
+	computed := false
+	v, err := s.do(ctx, predKey{Key{bm.Name, seed, scale}, cfg, profOpts, modelOpts, kind}, func(ctx context.Context) (any, error) {
+		computed = true
 		prof, unpinProf, err := s.profilePinned(ctx, bm, seed, scale, profOpts)
 		if err != nil {
 			return nil, err
 		}
 		defer unpinProf()
-		if err := s.eng.acquire(ctx); err != nil {
+		wait, err := s.eng.acquireTimed(ctx)
+		if err != nil {
 			return nil, err
 		}
 		defer s.eng.release()
+		annotateWait(sp, wait)
 		start := time.Now()
 		var v any
 		switch kind {
@@ -1094,9 +1262,15 @@ func (s *Session) predict(ctx context.Context, bm workload.Benchmark, seed uint6
 			return nil, err
 		}
 		s.eng.emit(Event{Kind: EventPredict, Bench: bm.Name, Config: cfg.Name,
-			Seed: seed, Scale: scale, Duration: time.Since(start)})
+			Seed: seed, Scale: scale, Duration: time.Since(start), Wait: wait})
 		return v, nil
 	})
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	endStageSpan(sp, computed, v)
+	return v, nil
 }
 
 // ForEach runs f(ctx, i) for every i in [0, n) concurrently, bounded only

@@ -171,7 +171,7 @@ func TestTracePersistenceHooks(t *testing.T) {
 	saved := make(map[Key]*trace.Recorded)
 	c1 := newCounter()
 	s1 := New(Options{Workers: 2, Progress: c1.sink}).NewSessionWith(SessionOptions{
-		StoreRecorded: func(k Key, rec *trace.Recorded) { saved[k] = rec },
+		StoreRecorded: func(_ context.Context, k Key, rec *trace.Recorded) { saved[k] = rec },
 	})
 	want, err := s1.Simulate(ctx, bm, testSeed, testScale, target)
 	if err != nil {
@@ -183,7 +183,7 @@ func TestTracePersistenceHooks(t *testing.T) {
 
 	c2 := newCounter()
 	s2 := New(Options{Workers: 2, Progress: c2.sink}).NewSessionWith(SessionOptions{
-		LoadRecorded: func(k Key) (*trace.Recorded, bool) { rec, ok := saved[k]; return rec, ok },
+		LoadRecorded: func(_ context.Context, k Key) (*trace.Recorded, bool) { rec, ok := saved[k]; return rec, ok },
 	})
 	got, err := s2.Simulate(ctx, bm, testSeed, testScale, target)
 	if err != nil {

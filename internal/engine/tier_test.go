@@ -23,8 +23,8 @@ func newProfileStore() *profileStore {
 	return &profileStore{files: make(map[ProfileKey][]byte)}
 }
 
-func (ps *profileStore) store(t *testing.T) func(ProfileKey, *profiler.Profile) {
-	return func(k ProfileKey, p *profiler.Profile) {
+func (ps *profileStore) store(t *testing.T) func(context.Context, ProfileKey, *profiler.Profile) {
+	return func(_ context.Context, k ProfileKey, p *profiler.Profile) {
 		data, err := profilefmt.Encode(p, k.Opts)
 		if err != nil {
 			t.Errorf("StoreProfile encode: %v", err)
@@ -36,8 +36,8 @@ func (ps *profileStore) store(t *testing.T) func(ProfileKey, *profiler.Profile) 
 	}
 }
 
-func (ps *profileStore) load(t *testing.T) func(ProfileKey) (*profiler.Profile, bool) {
-	return func(k ProfileKey) (*profiler.Profile, bool) {
+func (ps *profileStore) load(t *testing.T) func(context.Context, ProfileKey) (*profiler.Profile, bool) {
+	return func(_ context.Context, k ProfileKey) (*profiler.Profile, bool) {
 		ps.mu.Lock()
 		data, ok := ps.files[k]
 		ps.mu.Unlock()

@@ -1,0 +1,305 @@
+// Package obs is the zero-dependency observability layer threaded through
+// the serving path: request-scoped span traces carried via context.Context
+// from the HTTP handlers through the engine session into the pipeline
+// stages (build/record/profile/simulate/predict) and the artifact-store
+// hooks, recorded into a fixed-size lock-free ring of recent request
+// traces (Ring) and exportable as Chrome trace_event JSON (TraceEvents).
+//
+// The design rule is that tracing is near-free when nobody is looking:
+// every entry point nil-checks the context for an attached Trace and
+// returns immediately when there is none, so library and CLI users who
+// never call WithTrace pay one context lookup per pipeline *stage* (not
+// per instruction), and a traced request pays a handful of small
+// allocations plus one mutex acquisition per span — nothing on any inner
+// loop. The serving layer's perf gate (BenchmarkServePredictWarm) holds
+// the serving path to that promise.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span: cache outcomes, byte
+// counts, retry and breaker events from the artifact store.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed stage of a trace. Spans form a tree under the trace's
+// root; child spans are created with StartSpan on a context carrying the
+// parent. All mutation goes through the owning trace's mutex, so spans
+// may be created and annotated concurrently from fan-out goroutines
+// sharing one request context.
+type Span struct {
+	Name     string
+	Start    time.Duration // offset from the trace's Begin
+	Dur      time.Duration // zero until End
+	Attrs    []Attr
+	Children []*Span
+
+	tr    *Trace
+	ended bool
+}
+
+// Trace is one request's span tree. The root span spans the whole
+// request; Finish closes it. A Trace is safe for concurrent use.
+type Trace struct {
+	ID    string
+	Name  string    // route or operation name
+	Begin time.Time // wall clock; durations use the monotonic reading
+
+	mu   sync.Mutex
+	root Span
+
+	// arena backs the first few spans of the trace, so a typical request
+	// (a handful of stages) costs zero per-span heap allocations; deeper
+	// trees spill to individual allocations.
+	arena [8]Span
+	used  int
+}
+
+// idState seeds trace-ID generation once per process; IDs are a splitmix64
+// mix of a monotonically increasing counter, so generation is one atomic
+// add plus a few shifts — no locks, no entropy syscalls on the hot path.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano())) }
+
+func newID() string {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hex[x&0xf]
+		x >>= 4
+	}
+	return string(b[:])
+}
+
+// New starts a trace named name (typically the route) with a fresh ID.
+func New(name string) *Trace {
+	t := &Trace{ID: newID(), Name: name, Begin: time.Now()}
+	t.root.Name = name
+	t.root.tr = t
+	return t
+}
+
+// Finish ends the root span. Idempotent; later Finish calls keep the
+// first duration.
+func (t *Trace) Finish() {
+	t.mu.Lock()
+	if !t.root.ended {
+		t.root.ended = true
+		t.root.Dur = time.Since(t.Begin)
+	}
+	t.mu.Unlock()
+}
+
+// Duration returns the root span's duration: the finished total, or the
+// elapsed time so far for a live trace.
+func (t *Trace) Duration() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root.ended {
+		return t.root.Dur
+	}
+	return time.Since(t.Begin)
+}
+
+// Walk calls fn for every span in the tree, root first, parents before
+// children, holding the trace lock — fn must not start or end spans. The
+// snapshot copies handed to fn (name, offsets, attrs, child count) are
+// safe to retain.
+func (t *Trace) Walk(fn func(depth int, s SpanSnapshot)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	walkLocked(&t.root, 0, fn)
+}
+
+// SpanSnapshot is one span's immutable view for Walk consumers.
+type SpanSnapshot struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+func walkLocked(s *Span, depth int, fn func(int, SpanSnapshot)) {
+	fn(depth, SpanSnapshot{Name: s.Name, Start: s.Start, Dur: s.Dur,
+		Attrs: append([]Attr(nil), s.Attrs...)})
+	for _, c := range s.Children {
+		walkLocked(c, depth+1, fn)
+	}
+}
+
+// Root returns a snapshot of the root span's direct children — the
+// top-level stage breakdown a request's wall time decomposes into.
+func (t *Trace) Root() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.root.Children...)
+}
+
+// Attr returns the first value of key annotated anywhere in the tree
+// (depth-first), or "".
+func (t *Trace) Attr(key string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return attrLocked(&t.root, key)
+}
+
+func attrLocked(s *Span, key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	for _, c := range s.Children {
+		if v := attrLocked(c, key); v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+// CacheOutcome summarizes the trace's "cache" annotations for access
+// logs: "miss" if any stage missed, else "hit" if any stage hit, else "".
+func (t *Trace) CacheOutcome() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var hit bool
+	var miss bool
+	var scan func(s *Span)
+	scan = func(s *Span) {
+		for _, a := range s.Attrs {
+			if a.Key == "cache" {
+				switch a.Value {
+				case "miss":
+					miss = true
+				case "hit":
+					hit = true
+				}
+			}
+		}
+		for _, c := range s.Children {
+			scan(c)
+		}
+	}
+	scan(&t.root)
+	switch {
+	case miss:
+		return "miss"
+	case hit:
+		return "hit"
+	}
+	return ""
+}
+
+// --- context carriage ----------------------------------------------------
+
+// One context key carries the whole tracing state: the current span, whose
+// tr field reaches the owning trace. A single key means every entry point
+// (StartSpan, Annotate, FromContext) pays exactly one walk up the context
+// chain instead of one per key — on the serving path the chain is several
+// layers deep (server base, connection, cancellation, nested spans), so
+// the walks are the dominant cost of carrying a trace at all.
+type spanCtxKey struct{}
+
+// WithTrace attaches t to ctx; spans started from the returned context
+// nest under t's root.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, &t.root)
+}
+
+// FromContext returns the trace attached to ctx, or nil. This is the
+// universal fast path: nil means no subscriber, record nothing.
+func FromContext(ctx context.Context) *Trace {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// StartSpan opens a child span of the current span (the root when none)
+// on ctx's trace. With no trace attached it returns (ctx, nil) without
+// allocating; the nil *Span is safe to End and Annotate, so call sites
+// need no conditionals.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := Start(ctx, name)
+	if s == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// Start opens a child span like StartSpan but does not derive a context,
+// for leaf stages (request parsing, response encoding) that never start
+// spans of their own — it skips the context allocation a discarded return
+// would waste. Returns nil (safe to End and Annotate) without a trace.
+func Start(ctx context.Context, name string) *Span {
+	parent, _ := ctx.Value(spanCtxKey{}).(*Span)
+	if parent == nil {
+		return nil
+	}
+	tr := parent.tr
+	tr.mu.Lock()
+	var s *Span
+	if tr.used < len(tr.arena) {
+		s = &tr.arena[tr.used]
+		tr.used++
+	} else {
+		s = new(Span)
+	}
+	s.Name, s.Start, s.tr = name, time.Since(tr.Begin), tr
+	if parent.Children == nil {
+		parent.Children = make([]*Span, 0, 4)
+	}
+	parent.Children = append(parent.Children, s)
+	tr.mu.Unlock()
+	return s
+}
+
+// End closes the span. Nil-safe and idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.Dur = time.Since(s.tr.Begin) - s.Start
+	}
+	s.tr.mu.Unlock()
+}
+
+// Annotate attaches a key/value attribute to the span. Nil-safe.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make([]Attr, 0, 4)
+	}
+	s.Attrs = append(s.Attrs, Attr{key, value})
+	s.tr.mu.Unlock()
+}
+
+// Annotate attaches key=value to the current span of ctx's trace (the
+// root when no span is open). A no-op without a trace — this is how deep
+// layers (the artifact store's retry/quarantine/breaker paths) report
+// events without knowing whether anyone subscribed.
+func Annotate(ctx context.Context, key, value string) {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	s.Annotate(key, value)
+}

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNoTraceFastPath: with no trace attached, StartSpan returns the same
+// context and a nil span, and every span method is a safe no-op — the
+// contract that keeps untraced library use free.
+func TestNoTraceFastPath(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "stage")
+	if sp != nil {
+		t.Fatalf("StartSpan without a trace returned a span: %+v", sp)
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan without a trace returned a new context")
+	}
+	sp.End()
+	sp.Annotate("k", "v") // must not panic
+	Annotate(ctx, "k", "v")
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext on a bare context = %v, want nil", got)
+	}
+}
+
+// TestSpanNesting: spans started from a span's context nest under it, and
+// offsets/durations are consistent with the trace timeline.
+func TestSpanNesting(t *testing.T) {
+	tr := New("predict")
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx1, outer := StartSpan(ctx, "exec")
+	_, inner := StartSpan(ctx1, "profile")
+	inner.Annotate("cache", "miss")
+	time.Sleep(time.Millisecond)
+	inner.End()
+	outer.End()
+	_, sibling := StartSpan(ctx, "encode")
+	sibling.End()
+	tr.Finish()
+
+	roots := tr.Root()
+	if len(roots) != 2 || roots[0].Name != "exec" || roots[1].Name != "encode" {
+		t.Fatalf("root children = %+v, want [exec encode]", roots)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Name != "profile" {
+		t.Fatalf("exec children = %+v, want [profile]", roots[0].Children)
+	}
+	if got := tr.Attr("cache"); got != "miss" {
+		t.Fatalf("Attr(cache) = %q, want miss", got)
+	}
+	if got := tr.CacheOutcome(); got != "miss" {
+		t.Fatalf("CacheOutcome = %q, want miss", got)
+	}
+	if roots[0].Children[0].Dur < time.Millisecond {
+		t.Fatalf("inner span duration %v, want >= 1ms", roots[0].Children[0].Dur)
+	}
+	if tr.Duration() < roots[0].Dur {
+		t.Fatalf("trace duration %v < exec span %v", tr.Duration(), roots[0].Dur)
+	}
+	// Walk visits parents before children.
+	var names []string
+	tr.Walk(func(depth int, s SpanSnapshot) { names = append(names, fmt.Sprintf("%d:%s", depth, s.Name)) })
+	want := []string{"0:predict", "1:exec", "2:profile", "1:encode"}
+	if len(names) != len(want) {
+		t.Fatalf("Walk visited %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Walk visited %v, want %v", names, want)
+		}
+	}
+}
+
+// TestCacheOutcome: hit-only traces report "hit", mixed report "miss",
+// unannotated report "".
+func TestCacheOutcome(t *testing.T) {
+	tr := New("r")
+	ctx := WithTrace(context.Background(), tr)
+	_, sp := StartSpan(ctx, "predict")
+	sp.Annotate("cache", "hit")
+	sp.End()
+	if got := tr.CacheOutcome(); got != "hit" {
+		t.Fatalf("CacheOutcome = %q, want hit", got)
+	}
+	if got := New("empty").CacheOutcome(); got != "" {
+		t.Fatalf("empty CacheOutcome = %q, want \"\"", got)
+	}
+}
+
+// TestConcurrentSpans: fan-out goroutines sharing one request context may
+// create and annotate spans concurrently (run under -race in CI).
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("sweep")
+	ctx := WithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, sp := StartSpan(ctx, fmt.Sprintf("simulate-%d", i))
+			Annotate(c, "config", fmt.Sprintf("cfg%d", i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tr.Root()); got != 16 {
+		t.Fatalf("got %d root children, want 16", got)
+	}
+}
+
+// TestStartLeafSpan: Start records a child without deriving a context,
+// and spills cleanly past the trace's inline span arena.
+func TestStartLeafSpan(t *testing.T) {
+	if sp := Start(context.Background(), "parse"); sp != nil {
+		t.Fatalf("Start without a trace returned a span: %+v", sp)
+	}
+	tr := New("predict")
+	ctx := WithTrace(context.Background(), tr)
+	sp := Start(ctx, "parse")
+	sp.Annotate("k", "v")
+	sp.End()
+	// More spans than the inline arena holds: the tree must stay intact.
+	n := len(tr.arena) + 4
+	for i := 1; i < n; i++ {
+		Start(ctx, fmt.Sprintf("stage-%d", i)).End()
+	}
+	tr.Finish()
+	roots := tr.Root()
+	if len(roots) != n {
+		t.Fatalf("got %d root children, want %d", len(roots), n)
+	}
+	if roots[0].Name != "parse" || roots[n-1].Name != fmt.Sprintf("stage-%d", n-1) {
+		t.Fatalf("span order broken: first %q last %q", roots[0].Name, roots[n-1].Name)
+	}
+	if got := tr.Attr("k"); got != "v" {
+		t.Fatalf("Attr(k) = %q, want v", got)
+	}
+}
+
+// TestUniqueIDs: trace IDs are 16 hex chars and unique across concurrent
+// generation.
+func TestUniqueIDs(t *testing.T) {
+	const n = 1000
+	ids := make(chan string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/8; j++ {
+				ids <- New("x").ID
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool)
+	for id := range ids {
+		if len(id) != 16 {
+			t.Fatalf("ID %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestRing: the ring keeps the newest Cap() traces in order and Add is
+// safe under concurrency.
+func TestRing(t *testing.T) {
+	r := NewRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	var traces []*Trace
+	for i := 0; i < 6; i++ {
+		tr := New(fmt.Sprintf("req-%d", i))
+		traces = append(traces, tr)
+		r.Add(tr)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(snap))
+	}
+	for i, tr := range snap {
+		if want := traces[i+2]; tr != want {
+			t.Fatalf("slot %d = %s, want %s", i, tr.Name, want.Name)
+		}
+	}
+	if r.Total() != 6 || r.Len() != 4 {
+		t.Fatalf("Total/Len = %d/%d, want 6/4", r.Total(), r.Len())
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(New("concurrent"))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTraceEventJSON: the export is valid trace_event JSON with one
+// complete event per span, a metadata event per trace, and microsecond
+// timings consistent with the span tree.
+func TestTraceEventJSON(t *testing.T) {
+	tr := New("predict")
+	ctx := WithTrace(context.Background(), tr)
+	_, sp := StartSpan(ctx, "exec")
+	sp.Annotate("cache", "hit")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	tr.Finish()
+
+	raw, err := MarshalTraceEvents([]*Trace{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("event %v missing numeric ts", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if meta != 1 || complete != 2 { // root + exec
+		t.Fatalf("got %d metadata / %d complete events, want 1/2", meta, complete)
+	}
+	// The exec span's args carry the annotation and the trace ID.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "exec" {
+			args := ev["args"].(map[string]any)
+			if args["cache"] != "hit" || args["trace_id"] != tr.ID {
+				t.Fatalf("exec args = %v", args)
+			}
+			if ev["dur"].(float64) < 1000 {
+				t.Fatalf("exec dur = %v µs, want >= 1000", ev["dur"])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no exec event in export")
+	}
+}
+
+// BenchmarkStartSpanNoTrace measures the untraced fast path — the cost
+// every engine stage pays when no subscriber is attached.
+func BenchmarkStartSpanNoTrace(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "stage")
+		sp.End()
+	}
+}
+
+// BenchmarkTracedRequest measures one request's full tracing cost: trace
+// + four spans + ring add, the overhead the serving path adds per
+// request.
+func BenchmarkTracedRequest(b *testing.B) {
+	r := NewRing(DefaultRingSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := New("predict")
+		ctx := WithTrace(context.Background(), tr)
+		for _, stage := range [...]string{"parse", "exec", "predict", "encode"} {
+			_, sp := StartSpan(ctx, stage)
+			sp.End()
+		}
+		tr.Finish()
+		r.Add(tr)
+	}
+}

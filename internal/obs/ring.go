@@ -1,0 +1,71 @@
+package obs
+
+import "sync/atomic"
+
+// Ring is a fixed-size lock-free buffer of the most recent request
+// traces, the store behind the server's /debug/requests endpoint.
+// Add is wait-free (one atomic add plus one atomic pointer store), so
+// recording a finished trace costs the request path almost nothing;
+// Snapshot reads the slots without blocking writers, which means a
+// snapshot taken under heavy traffic is a consistent set of recently
+// finished traces rather than an exact point-in-time ordering.
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+}
+
+// DefaultRingSize is the trace capacity when none is configured: enough
+// recent requests to diagnose a latency incident, small enough that the
+// retained span trees stay in the low megabytes.
+const DefaultRingSize = 256
+
+// NewRing creates a ring holding the last n traces (n <= 0 selects
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns the number of traces recorded so far, capped at capacity.
+func (r *Ring) Len() int {
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Total returns the number of traces ever recorded.
+func (r *Ring) Total() uint64 { return r.next.Load() }
+
+// Add records a finished trace, overwriting the oldest slot when full.
+func (r *Ring) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// Snapshot returns the buffered traces, oldest first. Traces added
+// concurrently may or may not appear; every returned trace is complete.
+func (r *Ring) Snapshot() []*Trace {
+	n := r.next.Load()
+	size := uint64(len(r.slots))
+	lo := uint64(0)
+	if n > size {
+		lo = n - size
+	}
+	out := make([]*Trace, 0, n-lo)
+	for i := lo; i < n; i++ {
+		if t := r.slots[i%size].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package obs
+
+import "encoding/json"
+
+// TraceEvent is one event of the Chrome trace_event format ("JSON Object
+// Format" with a traceEvents array), loadable in chrome://tracing and
+// Perfetto. Complete spans use phase "X" with microsecond timestamps;
+// thread-name metadata events use phase "M" so each request renders as
+// its own named track.
+type TraceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`            // microseconds
+	Dur   float64           `json:"dur,omitempty"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// TraceEventFile is the top-level trace_event JSON document.
+type TraceEventFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// TraceEvents converts traces into a trace_event document. Each trace
+// becomes one tid (its index in the input) named "<route> <id>";
+// timestamps are wall-clock microseconds of the trace's Begin plus span
+// offsets, so concurrent requests line up on a common timeline.
+func TraceEvents(traces []*Trace) TraceEventFile {
+	f := TraceEventFile{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+	for i, tr := range traces {
+		base := float64(tr.Begin.UnixMicro())
+		f.TraceEvents = append(f.TraceEvents, TraceEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: i,
+			Args: map[string]string{"name": tr.Name + " " + tr.ID},
+		})
+		tr.Walk(func(depth int, s SpanSnapshot) {
+			args := map[string]string{"trace_id": tr.ID}
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+			f.TraceEvents = append(f.TraceEvents, TraceEvent{
+				Name:  s.Name,
+				Cat:   "rppm",
+				Phase: "X",
+				TS:    base + float64(s.Start.Microseconds()),
+				Dur:   float64(s.Dur.Microseconds()),
+				PID:   1,
+				TID:   i,
+				Args:  args,
+			})
+		})
+	}
+	return f
+}
+
+// MarshalTraceEvents renders traces as trace_event JSON bytes.
+func MarshalTraceEvents(traces []*Trace) ([]byte, error) {
+	return json.Marshal(TraceEvents(traces))
+}

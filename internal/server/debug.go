@@ -1,0 +1,118 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"rppm/internal/obs"
+)
+
+// DebugTrace is the inline span-tree view a `?debug=1` predict or sweep
+// request carries in its response: where the request's wall time went,
+// stage by stage, with cache outcomes and byte counts per stage. It is
+// strictly additive — without debug=1 the response bytes are unchanged.
+type DebugTrace struct {
+	TraceID string `json:"trace_id"`
+	Name    string `json:"name"`
+	// TotalUS is the request's elapsed microseconds at the moment the
+	// payload was built (after execution, before response encoding).
+	TotalUS int64             `json:"total_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Spans   []*DebugSpan      `json:"spans"`
+}
+
+// DebugSpan is one stage of a DebugTrace: offset and duration in
+// microseconds, annotations (cache hit/miss, bytes, pool wait), children.
+type DebugSpan struct {
+	Name     string            `json:"name"`
+	StartUS  int64             `json:"start_us"`
+	DurUS    int64             `json:"dur_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*DebugSpan      `json:"children,omitempty"`
+}
+
+func attrMap(attrs []obs.Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// buildDebugTrace converts a live trace into the wire form. Walk visits
+// parents before children with their depth, so the tree is rebuilt with a
+// stack of the current ancestor chain.
+func buildDebugTrace(tr *obs.Trace) *DebugTrace {
+	if tr == nil {
+		return nil
+	}
+	dt := &DebugTrace{TraceID: tr.ID, Name: tr.Name, TotalUS: tr.Duration().Microseconds()}
+	root := &DebugSpan{}
+	stack := []*DebugSpan{root}
+	tr.Walk(func(depth int, s obs.SpanSnapshot) {
+		if depth == 0 {
+			// The root span is the trace itself; its attributes (request
+			// level annotations) surface at the trace level.
+			dt.Attrs = attrMap(s.Attrs)
+			return
+		}
+		ds := &DebugSpan{
+			Name:    s.Name,
+			StartUS: s.Start.Microseconds(),
+			DurUS:   s.Dur.Microseconds(),
+			Attrs:   attrMap(s.Attrs),
+		}
+		stack = stack[:depth]
+		parent := stack[depth-1]
+		parent.Children = append(parent.Children, ds)
+		stack = append(stack, ds)
+	})
+	dt.Spans = root.Children
+	return dt
+}
+
+// handleDebugRequests dumps the recent-request trace ring as Chrome
+// trace_event JSON — loadable in chrome://tracing or Perfetto, and the
+// payload `rppm-diag trace` summarizes.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	data, err := obs.MarshalTraceEvents(s.ring.Snapshot())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+	_, _ = w.Write([]byte("\n"))
+}
+
+// handleDebugCache answers with the resident session cache inventory
+// (Session.Snapshot): one row per entry with kind, key fields, accounted
+// bytes and pin/in-flight state, sorted largest first.
+func (s *Server) handleDebugCache(w http.ResponseWriter, r *http.Request) {
+	entries := s.sess.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"entries": entries,
+		"count":   len(entries),
+	})
+}
+
+// OpsHandler returns the operational sidecar handler served on -ops-addr:
+// metrics and health (mirrored from the main mux), the debug surfaces,
+// and net/http/pprof. It is meant for a loopback or otherwise
+// firewalled listener — pprof exposes heap contents.
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("/debug/cache", s.handleDebugCache)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

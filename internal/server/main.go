@@ -4,7 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"rppm/internal/storefs"
 )
@@ -28,6 +29,8 @@ func Main(args []string) int {
 	maxInflight := fs.Int("max-inflight", DefaultMaxInflight, "admitted concurrent predict/sweep requests before 429")
 	reqTimeout := fs.Duration("request-timeout", DefaultRequestTimeout, "per-request deadline for predict/sweep, threaded through the engine (504 on expiry; negative disables)")
 	chaos := fs.String("chaos", "", "dev-only fault injection for the artifact store, e.g. 'write:5,rename:7@enospc' (op:N fails every Nth op; @enospc selects the error)")
+	logFormat := fs.String("log-format", "text", "structured log encoding on stderr: text or json")
+	opsAddr := fs.String("ops-addr", "", "optional second listen address for the operational surface (/metrics, /healthz, /debug/requests, /debug/cache, /debug/pprof); keep it loopback or firewalled (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -36,7 +39,17 @@ func Main(args []string) int {
 		fmt.Fprintln(os.Stderr, "rppm-serve:", err)
 		return 2
 	}
-	logger := log.New(os.Stderr, "rppm-serve: ", log.LstdFlags)
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "rppm-serve: invalid -log-format %q (want text or json)\n", *logFormat)
+		return 2
+	}
+	logger := slog.New(handler)
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "rppm-serve:", err)
@@ -62,20 +75,37 @@ func Main(args []string) int {
 			return 2
 		}
 		cfg.StoreFS = fault
-		logger.Printf("CHAOS MODE: injecting store faults (%s) — not for production", *chaos)
+		logger.Warn("CHAOS MODE: injecting store faults — not for production", "spec", *chaos)
 	}
 	srv := New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	logger.Printf("listening on %s (workers=%d, budget=%s, trace-dir=%q, max-inflight=%d, request-timeout=%s)",
-		*addr, srv.eng.Workers(), FormatBytes(budget), *traceDir, *maxInflight, *reqTimeout)
+	if *opsAddr != "" {
+		ops := &http.Server{
+			Addr:              *opsAddr,
+			Handler:           srv.OpsHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := ops.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("ops listener failed", "addr", *opsAddr, "error", err)
+			}
+		}()
+		defer ops.Close()
+		logger.Info("ops surface listening", "addr", *opsAddr)
+	}
+
+	logger.Info("listening",
+		"addr", *addr, "workers", srv.eng.Workers(), "budget", FormatBytes(budget),
+		"trace_dir", *traceDir, "max_inflight", *maxInflight, "request_timeout", reqTimeout.String(),
+		"log_format", *logFormat)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil && err != http.ErrServerClosed {
-		logger.Printf("%v", err)
+		logger.Error("serve failed", "error", err)
 		return 1
 	}
-	logger.Printf("drained, exiting")
+	logger.Info("drained, exiting")
 	return 0
 }
 

@@ -3,9 +3,11 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
+	"rppm/internal/engine"
 	"rppm/internal/stats"
 )
 
@@ -52,6 +54,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("rppm_request_timeouts_total", "Requests answered with 504 at the per-request deadline.", s.timeouts.Load())
 	gauge("rppm_engine_workers", "Engine worker-pool size.", int64(s.eng.Workers()))
 	gauge("rppm_uptime_seconds", "Seconds since server start.", int64(uptimeSeconds(s)))
+
+	// Per-stage latency histograms: how long each completed engine stage
+	// (non-cached work only — cache hits never reach the pool) actually
+	// ran, plus the artifact store's load/save operation times.
+	fmt.Fprintf(&b, "# HELP rppm_stage_seconds Completed engine-stage execution time, per stage.\n# TYPE rppm_stage_seconds histogram\n")
+	for kind := engine.EventBuild; int(kind) < len(s.stageLat); kind++ {
+		writeHist(&b, "rppm_stage_seconds", "stage", kind.String(), &s.stageLat[kind])
+	}
+	if a := s.store; a != nil {
+		writeHist(&b, "rppm_stage_seconds", "stage", "store-load", &a.loadLat)
+		writeHist(&b, "rppm_stage_seconds", "stage", "store-save", &a.saveLat)
+	}
+
+	// Trace ring: how many requests were traced and how many are resident
+	// for /debug/requests.
+	counter("rppm_traces_recorded_total", "Heavy requests traced into the debug ring.", s.ring.Total())
+	gauge("rppm_trace_ring_entries", "Traces resident in the debug ring.", int64(s.ring.Len()))
+	gauge("rppm_trace_ring_capacity", "Debug ring capacity.", int64(s.ring.Cap()))
+
+	// Go runtime health: goroutine count, heap occupancy and GC activity.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("go_goroutines", "Live goroutines.", int64(runtime.NumGoroutine()))
+	gauge("go_memstats_heap_alloc_bytes", "Heap bytes allocated and in use.", int64(ms.HeapAlloc))
+	gauge("go_memstats_heap_sys_bytes", "Heap bytes obtained from the OS.", int64(ms.HeapSys))
+	gauge("go_memstats_next_gc_bytes", "Heap size target of the next GC cycle.", int64(ms.NextGC))
+	counter("go_gc_cycles_total", "Completed GC cycles.", uint64(ms.NumGC))
 
 	if a := s.store; a != nil {
 		counter("rppm_store_retries_total", "Transient artifact-store I/O errors retried with backoff.", a.retries.Load())
@@ -106,15 +135,21 @@ func uptimeSeconds(s *Server) float64 {
 }
 
 func writeLatency(b *strings.Builder, endpoint string, h *stats.LatencyHistogram) {
+	writeHist(b, "rppm_request_seconds", "endpoint", endpoint, h)
+}
+
+// writeHist renders one labeled histogram series (bucket/sum/count) in the
+// text exposition format.
+func writeHist(b *strings.Builder, name, label, value string, h *stats.LatencyHistogram) {
 	h.Snapshot(func(upper float64, cum uint64) {
 		if upper < 0 {
-			fmt.Fprintf(b, "rppm_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", endpoint, cum)
+			fmt.Fprintf(b, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, cum)
 			return
 		}
-		fmt.Fprintf(b, "rppm_request_seconds_bucket{endpoint=%q,le=%q} %d\n", endpoint, trimFloat(upper), cum)
+		fmt.Fprintf(b, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, trimFloat(upper), cum)
 	})
-	fmt.Fprintf(b, "rppm_request_seconds_sum{endpoint=%q} %g\n", endpoint, h.Sum().Seconds())
-	fmt.Fprintf(b, "rppm_request_seconds_count{endpoint=%q} %d\n", endpoint, h.Count())
+	fmt.Fprintf(b, "%s_sum{%s=%q} %g\n", name, label, value, h.Sum().Seconds())
+	fmt.Fprintf(b, "%s_count{%s=%q} %d\n", name, label, value, h.Count())
 }
 
 // trimFloat renders a bucket bound compactly (Prometheus accepts any

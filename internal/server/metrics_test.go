@@ -1,0 +1,256 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promMetric is one parsed metric family: its TYPE, HELP, and samples.
+type promSample struct {
+	name   string // family name with histogram/summary suffix intact
+	labels string // canonicalized label string
+	value  float64
+}
+
+// parsePromText parses the Prometheus text exposition format strictly
+// enough to catch the bugs hand-rolled emitters produce: samples without a
+// TYPE, HELP/TYPE lines for mismatched names, malformed label syntax,
+// unparseable values, and duplicate (name, labels) series.
+func parsePromText(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = make(map[string]string)
+	helps := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				t.Fatalf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			if helps[name] {
+				t.Fatalf("line %d: duplicate HELP for %q", lineNo, name)
+			}
+			helps[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: invalid TYPE %q for %q", lineNo, typ, name)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment form: %q", lineNo, line)
+		}
+		name, labels, value := parsePromSample(t, lineNo, line)
+		samples = append(samples, promSample{name: name, labels: labels, value: value})
+	}
+	for name := range types {
+		if !helps[name] {
+			t.Errorf("TYPE without HELP for %q", name)
+		}
+	}
+	return types, samples
+}
+
+// parsePromSample splits `name{labels} value` validating label syntax and
+// the float value; labels are canonicalized (sorted) for duplicate checks.
+func parsePromSample(t *testing.T, lineNo int, line string) (name, labels string, value float64) {
+	t.Helper()
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			t.Fatalf("line %d: unbalanced braces: %q", lineNo, line)
+		}
+		var parts []string
+		for _, pair := range splitLabels(line[i+1 : j]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || k == "" {
+				t.Fatalf("line %d: malformed label %q in %q", lineNo, pair, line)
+			}
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				t.Fatalf("line %d: unquoted label value %q in %q", lineNo, v, line)
+			}
+			if _, err := strconv.Unquote(v); err != nil {
+				t.Fatalf("line %d: bad label escaping %q: %v", lineNo, v, err)
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		labels = strings.Join(parts, ",")
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("line %d: want `name value`: %q", lineNo, line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	for _, r := range name {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == ':') {
+			t.Fatalf("line %d: invalid metric name %q", lineNo, name)
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil && strings.TrimSpace(rest) != "+Inf" && strings.TrimSpace(rest) != "NaN" {
+		t.Fatalf("line %d: unparseable value %q: %v", lineNo, rest, err)
+	}
+	return name, labels, v
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQ := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQ && i+1 < len(s):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(s[i])
+			continue
+		case c == '"':
+			inQ = !inQ
+		case c == ',' && !inQ:
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteByte(c)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// familyOf maps a sample name to its TYPE-declared family, folding the
+// histogram suffixes onto the base name.
+func familyOf(name string, types map[string]string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if typ, ok := types[base]; ok && (typ == "histogram" || typ == "summary") {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+// TestMetricsExposition: /metrics emits valid Prometheus text — every
+// sample belongs to a TYPE/HELP-declared family, labels are well formed,
+// no (name, labels) series repeats, and histogram buckets are cumulative
+// and capped by +Inf == _count.
+func TestMetricsExposition(t *testing.T) {
+	srv, c := newTestServer(t, Config{Workers: 2, TraceDir: t.TempDir()})
+	base := strings.TrimSuffix(c.BaseURL, "/")
+
+	// Touch enough of the surface that the interesting families have
+	// samples: a predict (stage histograms, store spills), a sweep, an
+	// error, and a health check.
+	getBody(t, base+"/v1/predict?bench=hotspot&scale=0.05")
+	getBody(t, base+"/v1/sweep?bench=hotspot&configs=2&scale=0.05")
+	getBody(t, base+"/healthz")
+	resp, err := http.Get(base + "/v1/predict?bench=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	req := httptest.NewRequest(http.MethodGet, "http://srv/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	text := rec.Body.String()
+
+	types, samples := parsePromText(t, text)
+
+	seen := make(map[string]bool)
+	buckets := make(map[string][]promSample) // family+labels-sans-le -> bucket samples in order
+	for _, s := range samples {
+		family, ok := familyOf(s.name, types)
+		if !ok {
+			t.Errorf("sample %q has no TYPE declaration", s.name)
+			continue
+		}
+		key := s.name + "{" + s.labels + "}"
+		if seen[key] {
+			t.Errorf("duplicate series %s", key)
+		}
+		seen[key] = true
+		if strings.HasSuffix(s.name, "_bucket") {
+			var rest []string
+			for _, pair := range strings.Split(s.labels, ",") {
+				if !strings.HasPrefix(pair, "le=") {
+					rest = append(rest, pair)
+				}
+			}
+			bkey := family + "{" + strings.Join(rest, ",") + "}"
+			buckets[bkey] = append(buckets[bkey], s)
+		}
+	}
+	for bkey, bs := range buckets {
+		for i := 1; i < len(bs); i++ {
+			if bs[i].value < bs[i-1].value {
+				t.Errorf("%s: non-cumulative buckets: %v < %v", bkey, bs[i].value, bs[i-1].value)
+			}
+		}
+	}
+
+	// The families this PR added must be present and typed correctly.
+	for family, wantType := range map[string]string{
+		"rppm_stage_seconds":           "histogram",
+		"rppm_request_seconds":         "histogram",
+		"rppm_traces_recorded_total":   "counter",
+		"rppm_trace_ring_entries":      "gauge",
+		"go_goroutines":                "gauge",
+		"go_memstats_heap_alloc_bytes": "gauge",
+		"rppm_store_retries_total":     "counter",
+	} {
+		if got := types[family]; got != wantType {
+			t.Errorf("family %q: TYPE %q, want %q", family, got, wantType)
+		}
+	}
+	// A completed predict must have fed the profile and predict stage
+	// histograms, and the traced request counter.
+	for _, want := range []string{
+		`rppm_stage_seconds_count{stage="profile"}`,
+		`rppm_stage_seconds_count{stage="predict"}`,
+		`rppm_stage_seconds_count{stage="store-save"}`,
+		"rppm_traces_recorded_total ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

@@ -5,7 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"mime"
 	"net/http"
 	"runtime/debug"
@@ -16,6 +17,7 @@ import (
 
 	"rppm/internal/arch"
 	"rppm/internal/engine"
+	"rppm/internal/obs"
 	"rppm/internal/stats"
 	"rppm/internal/storefs"
 	"rppm/internal/workload"
@@ -57,9 +59,14 @@ type Config struct {
 	MaxInflight int
 	// Progress, when non-nil, receives engine events (tests and logging).
 	Progress engine.ProgressFunc
-	// Log, when non-nil, receives operational messages (persistence
-	// failures, startup info). Nil discards them.
-	Log *log.Logger
+	// Log, when non-nil, receives structured operational messages
+	// (persistence failures, startup info) and one access-log record per
+	// request. Nil discards operational messages and skips access logging
+	// entirely, keeping the warm serving path log-free.
+	Log *slog.Logger
+	// TraceRing overrides the capacity of the recent-request trace ring
+	// behind /debug/requests; 0 selects obs.DefaultRingSize.
+	TraceRing int
 }
 
 // DefaultMaxInflight is the admission bound when Config.MaxInflight is 0:
@@ -93,7 +100,16 @@ type Server struct {
 	eng  *engine.Engine
 	sess *engine.Session
 	mux  *http.ServeMux
-	logf func(format string, args ...any)
+
+	// log is always non-nil (a discard handler when Config.Log is nil) so
+	// deep layers never nil-check; accessLog gates the per-request record,
+	// which only exists when an operator asked for logging.
+	log       *slog.Logger
+	accessLog bool
+
+	// ring buffers the most recent predict/sweep request traces for
+	// /debug/requests; every admitted heavy request is traced into it.
+	ring *obs.Ring
 
 	// store is the fault-tolerant persistence layer; nil when TraceDir is
 	// unset (memory-only serving).
@@ -107,6 +123,10 @@ type Server struct {
 	started  time.Time
 
 	predictM, sweepM, listM, healthM endpointMetrics
+
+	// stageLat times completed engine stages (indexed by engine.EventKind),
+	// fed from the Progress chain into /metrics.
+	stageLat [5]stats.LatencyHistogram
 }
 
 // New creates a server with a fresh engine and resident session.
@@ -122,19 +142,30 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:     cfg,
-		eng:     engine.New(engine.Options{Workers: cfg.Workers, Progress: cfg.Progress}),
 		admit:   make(chan struct{}, cfg.MaxInflight),
+		ring:    obs.NewRing(cfg.TraceRing),
 		started: time.Now(),
 	}
-	s.logf = func(string, ...any) {}
-	if cfg.Log != nil {
-		s.logf = cfg.Log.Printf
+	s.log = cfg.Log
+	s.accessLog = cfg.Log != nil
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	// Chain the caller's progress sink behind the stage-latency
+	// histograms, so /metrics observes every completed engine stage
+	// whether or not anyone else subscribed.
+	progress := cfg.Progress
+	s.eng = engine.New(engine.Options{Workers: cfg.Workers, Progress: func(ev engine.Event) {
+		if int(ev.Kind) < len(s.stageLat) {
+			s.stageLat[ev.Kind].Observe(ev.Duration)
+		}
+		if progress != nil {
+			progress(ev)
+		}
+	}})
 	opts := engine.SessionOptions{MaxBytes: cfg.MaxBytes}
 	if cfg.TraceDir != "" {
-		s.store = newArtifactStore(cfg.StoreFS, cfg.TraceDir, cfg.Store, func(format string, args ...any) {
-			s.logf(format, args...)
-		})
+		s.store = newArtifactStore(cfg.StoreFS, cfg.TraceDir, cfg.Store, s.log)
 		s.store.cleanupTemps()
 		opts.LoadRecorded = s.store.loadTrace
 		opts.StoreRecorded = s.store.storeTrace
@@ -144,12 +175,14 @@ func New(cfg Config) *Server {
 	s.sess = s.eng.NewSessionWith(opts)
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/healthz", s.instrument(&s.healthM, s.handleHealthz))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", &s.healthM, false, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/v1/benchmarks", s.instrument(&s.listM, s.handleBenchmarks))
-	s.mux.HandleFunc("/v1/archs", s.instrument(&s.listM, s.handleArchs))
-	s.mux.HandleFunc("/v1/predict", s.admitHeavy(&s.predictM, s.handlePredict))
-	s.mux.HandleFunc("/v1/sweep", s.admitHeavy(&s.sweepM, s.handleSweep))
+	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("/debug/cache", s.handleDebugCache)
+	s.mux.HandleFunc("/v1/benchmarks", s.instrument("list", &s.listM, false, s.handleBenchmarks))
+	s.mux.HandleFunc("/v1/archs", s.instrument("list", &s.listM, false, s.handleArchs))
+	s.mux.HandleFunc("/v1/predict", s.admitHeavy("predict", &s.predictM, s.handlePredict))
+	s.mux.HandleFunc("/v1/sweep", s.admitHeavy("sweep", &s.sweepM, s.handleSweep))
 	return s
 }
 
@@ -216,14 +249,28 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 // connection — the engine's own unwind paths guarantee the panicked
 // request released its worker slot and pins, so the server stays
 // serviceable.
-func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+//
+// When traced is set, the request runs under a fresh obs.Trace (carried on
+// the request context, so every engine stage and store operation below it
+// records a span) which lands in the debug ring on completion. Every
+// instrumented request also emits one structured access-log record when a
+// logger is configured: route, method, path, status, duration, and — for
+// traced routes — the trace ID and the cache outcome.
+func (s *Server) instrument(route string, m *endpointMetrics, traced bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		var tr *obs.Trace
+		if traced {
+			tr = obs.New(route)
+			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
 				s.panics.Add(1)
-				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				s.log.Error("panic serving request",
+					"method", r.Method, "path", r.URL.Path, "panic", p,
+					"stack", string(debug.Stack()))
 				if !rec.wrote {
 					writeErr(rec, &httpError{code: http.StatusInternalServerError,
 						msg: "internal error (see server log)"})
@@ -237,7 +284,25 @@ func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.Handler
 			if rec.code >= 400 {
 				m.errors.Add(1)
 			}
-			m.latency.Observe(time.Since(start))
+			elapsed := time.Since(start)
+			m.latency.Observe(elapsed)
+			if tr != nil {
+				tr.Finish()
+				s.ring.Add(tr)
+			}
+			if s.accessLog {
+				attrs := []any{
+					"route", route, "method", r.Method, "path", r.URL.Path,
+					"status", rec.code, "dur_ms", float64(elapsed.Microseconds()) / 1000,
+				}
+				if tr != nil {
+					attrs = append(attrs, "trace_id", tr.ID)
+					if c := tr.CacheOutcome(); c != "" {
+						attrs = append(attrs, "cache", c)
+					}
+				}
+				s.log.Info("request", attrs...)
+			}
 		}()
 		h(rec, r)
 	}
@@ -251,8 +316,8 @@ func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.Handler
 // front of it). Admitted requests run under Config.RequestTimeout,
 // threaded through the engine context, so one wedged request cannot hold
 // its admission slot forever.
-func (s *Server) admitHeavy(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
-	return s.instrument(m, func(w http.ResponseWriter, r *http.Request) {
+func (s *Server) admitHeavy(route string, m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrument(route, m, true, func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.admit <- struct{}{}:
 			s.inflight.Add(1)
@@ -378,6 +443,7 @@ func parsePredict(r *http.Request) (PredictRequest, workload.Benchmark, arch.Con
 		}
 		req.Baselines = parseBool(get("baselines"))
 		req.Simulate = parseBool(get("simulate"))
+		req.Debug = parseBool(get("debug"))
 		return nil
 	})
 	if err != nil {
@@ -401,20 +467,36 @@ func parsePredict(r *http.Request) (PredictRequest, workload.Benchmark, arch.Con
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	psp := obs.Start(ctx, "parse")
 	req, bm, cfg, err := parsePredict(r)
+	psp.End()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	resp, err := BuildPredict(r.Context(), s.sess, bm, cfg, req)
+	ectx, esp := obs.StartSpan(ctx, "exec")
+	resp, err := BuildPredict(ectx, s.sess, bm, cfg, req)
+	esp.End()
 	if err != nil {
 		s.writeReqErr(w, r, err)
 		return
 	}
+	if req.Debug {
+		// Snapshot the span tree before encoding: the payload carries
+		// everything recorded so far (parse + exec and every engine stage
+		// under it); the encode span that follows lands in the debug ring
+		// but cannot appear inside the body it serializes.
+		resp.Debug = buildDebugTrace(obs.FromContext(ctx))
+	}
+	wsp := obs.Start(ctx, "encode")
 	writeJSON(w, http.StatusOK, resp)
+	wsp.End()
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	psp := obs.Start(ctx, "parse")
 	req := SweepRequest{Configs: 16, Seed: 1, Scale: 0.3}
 	err := decodeRequest(r, &req, func(get func(string) string) error {
 		req.Bench = get("bench")
@@ -435,9 +517,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				return badRequest("bad batch: %v", err)
 			}
 		}
+		req.Debug = parseBool(get("debug"))
 		return nil
 	})
 	if err != nil {
+		psp.End()
 		writeErr(w, err)
 		return
 	}
@@ -456,20 +540,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		err = badRequest("configs must be at most %d, got %d", MaxSweepConfigs, req.Configs)
 	}
 	if err != nil {
+		psp.End()
 		writeErr(w, err)
 		return
 	}
 	bm, err := workload.ByName(req.Bench)
+	psp.End()
 	if err != nil {
 		writeErr(w, badRequest("%v", err))
 		return
 	}
-	resp, err := BuildSweep(r.Context(), s.sess, bm, req)
+	ectx, esp := obs.StartSpan(ctx, "exec")
+	resp, err := BuildSweep(ectx, s.sess, bm, req)
+	esp.End()
 	if err != nil {
 		s.writeReqErr(w, r, err)
 		return
 	}
+	if req.Debug {
+		resp.Debug = buildDebugTrace(obs.FromContext(ctx))
+	}
+	wsp := obs.Start(ctx, "encode")
 	writeJSON(w, http.StatusOK, resp)
+	wsp.End()
 }
 
 // Shutdown-aware serving: ListenAndServe runs the server at addr until ctx
@@ -497,7 +590,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	case <-ctx.Done():
 	}
-	s.logf("draining: waiting for in-flight requests")
+	s.log.Info("draining: waiting for in-flight requests")
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {

@@ -1,19 +1,24 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rppm/internal/engine"
+	"rppm/internal/obs"
 	"rppm/internal/profilefmt"
 	"rppm/internal/profiler"
+	"rppm/internal/stats"
 	"rppm/internal/storefs"
 	"rppm/internal/trace"
 )
@@ -166,10 +171,10 @@ func (b *breaker) state() int {
 //   - no failure in this layer is ever allowed to fail a request — the
 //     hooks degrade to cache misses (load) or dropped spills (store).
 type artifactStore struct {
-	fs   storefs.FS
-	dir  string
-	pol  StorePolicy
-	logf func(format string, args ...any)
+	fs  storefs.FS
+	dir string
+	pol StorePolicy
+	log *slog.Logger
 
 	// now and sleep are injectable for deterministic tests.
 	now   func() time.Time
@@ -184,9 +189,15 @@ type artifactStore struct {
 	quarantines atomic.Uint64
 	loadFails   atomic.Uint64
 	storeFails  atomic.Uint64
+
+	// loadLat and saveLat time each load/spill operation end to end
+	// (including retries and backoff sleeps), feeding the /metrics
+	// per-stage latency histograms.
+	loadLat stats.LatencyHistogram
+	saveLat stats.LatencyHistogram
 }
 
-func newArtifactStore(fsys storefs.FS, dir string, pol StorePolicy, logf func(string, ...any)) *artifactStore {
+func newArtifactStore(fsys storefs.FS, dir string, pol StorePolicy, log *slog.Logger) *artifactStore {
 	if fsys == nil {
 		fsys = storefs.OS
 	}
@@ -195,7 +206,7 @@ func newArtifactStore(fsys storefs.FS, dir string, pol StorePolicy, logf func(st
 		fs:          fsys,
 		dir:         dir,
 		pol:         pol,
-		logf:        logf,
+		log:         log,
 		now:         time.Now,
 		sleep:       time.Sleep,
 		quarantined: make(map[string]struct{}),
@@ -213,11 +224,11 @@ func newArtifactStore(fsys storefs.FS, dir string, pol StorePolicy, logf func(st
 func (a *artifactStore) cleanupTemps() {
 	n, err := storefs.CleanupTemps(a.fs, a.dir)
 	if err != nil {
-		a.logf("store: startup temp cleanup in %s: %v", a.dir, err)
+		a.log.Warn("store: startup temp cleanup failed", "dir", a.dir, "error", err)
 		return
 	}
 	if n > 0 {
-		a.logf("store: removed %d stale temp file(s) from %s", n, a.dir)
+		a.log.Info("store: removed stale temp files", "dir", a.dir, "count", n)
 	}
 }
 
@@ -251,9 +262,9 @@ func (a *artifactStore) quarantine(path string, cause error) {
 	a.mu.Unlock()
 	a.quarantines.Add(1)
 	if err := a.fs.Rename(path, path+CorruptSuffix); err != nil && !errors.Is(err, os.ErrNotExist) {
-		a.logf("store: quarantine rename of %s: %v", path, err)
+		a.log.Warn("store: quarantine rename failed", "path", path, "error", err)
 	}
-	a.logf("store: quarantined %s: %v", path, cause)
+	a.log.Warn("store: quarantined corrupt artifact", "path", path, "cause", cause)
 }
 
 // liftQuarantine clears path's quarantine after a regenerated artifact was
@@ -268,27 +279,37 @@ func (a *artifactStore) liftQuarantine(path string) {
 // (nil) on success, os.ErrNotExist-wrapping errors on a plain miss, a
 // transient error (storefs.Transient) on infrastructure failure, and any
 // other error to declare the file's content bad.
-func (a *artifactStore) loadArtifact(path string, read func() error) bool {
+func (a *artifactStore) loadArtifact(ctx context.Context, path string, read func() error) bool {
+	ctx, sp := obs.StartSpan(ctx, "store-load")
+	defer sp.End()
+	sp.Annotate("file", filepath.Base(path))
+	start := time.Now()
+	defer func() { a.loadLat.Observe(time.Since(start)) }()
 	if a.isQuarantined(path) {
+		sp.Annotate("outcome", "quarantined")
 		return false
 	}
 	if !a.loadBr.allow() {
+		sp.Annotate("outcome", "breaker-open")
 		return false
 	}
 	var err error
 	for i := 0; i < a.pol.Attempts; i++ {
 		if i > 0 {
 			a.retries.Add(1)
+			obs.Annotate(ctx, "retry", strconv.Itoa(i))
 			a.sleep(a.backoffFor(i))
 		}
 		err = read()
 		switch {
 		case err == nil:
 			a.loadBr.success()
+			sp.Annotate("outcome", "ok")
 			return true
 		case errors.Is(err, os.ErrNotExist):
 			// A miss, not a fault: the disk answered correctly.
 			a.loadBr.success()
+			sp.Annotate("outcome", "not-found")
 			return false
 		case !storefs.Transient(err):
 			// Content-level rejection: the bytes are there but wrong.
@@ -296,14 +317,17 @@ func (a *artifactStore) loadArtifact(path string, read func() error) bool {
 			// exactly zero more times, and regenerate via the miss path.
 			a.quarantine(path, err)
 			a.loadBr.success()
+			sp.Annotate("outcome", "quarantined")
 			return false
 		}
 	}
 	a.loadFails.Add(1)
+	sp.Annotate("outcome", "failed")
 	if a.loadBr.failure() {
-		a.logf("store: load breaker OPEN after %s: %v", path, err)
+		obs.Annotate(ctx, "breaker", "tripped")
+		a.log.Error("store: load breaker OPEN", "path", path, "error", err)
 	} else {
-		a.logf("store: load %s failed after %d attempts: %v", path, a.pol.Attempts, err)
+		a.log.Warn("store: load failed", "path", path, "attempts", a.pol.Attempts, "error", err)
 	}
 	return false
 }
@@ -311,35 +335,46 @@ func (a *artifactStore) loadArtifact(path string, read func() error) bool {
 // storeArtifact drives one spill through the failure rules. Spills are an
 // optimization: every failure degrades to "not persisted" and the request
 // that produced the artifact is never affected.
-func (a *artifactStore) storeArtifact(path string, write func() error) {
+func (a *artifactStore) storeArtifact(ctx context.Context, path string, write func() error) {
+	ctx, sp := obs.StartSpan(ctx, "store-save")
+	defer sp.End()
+	sp.Annotate("file", filepath.Base(path))
+	start := time.Now()
+	defer func() { a.saveLat.Observe(time.Since(start)) }()
 	if !a.storeBr.allow() {
+		sp.Annotate("outcome", "breaker-open")
 		return
 	}
 	var err error
 	for i := 0; i < a.pol.Attempts; i++ {
 		if i > 0 {
 			a.retries.Add(1)
+			obs.Annotate(ctx, "retry", strconv.Itoa(i))
 			a.sleep(a.backoffFor(i))
 		}
 		err = write()
 		if err == nil {
 			a.storeBr.success()
 			a.liftQuarantine(path)
+			sp.Annotate("outcome", "ok")
 			return
 		}
 		if !storefs.Transient(err) {
 			// Encoding rejected the value (a bug, not a disk problem):
 			// log and drop, without charging the breaker.
-			a.logf("store: spill %s rejected: %v", path, err)
+			a.log.Error("store: spill rejected by encoder", "path", path, "error", err)
 			a.storeBr.success()
+			sp.Annotate("outcome", "rejected")
 			return
 		}
 	}
 	a.storeFails.Add(1)
+	sp.Annotate("outcome", "failed")
 	if a.storeBr.failure() {
-		a.logf("store: store breaker OPEN after %s: %v", path, err)
+		obs.Annotate(ctx, "breaker", "tripped")
+		a.log.Error("store: store breaker OPEN", "path", path, "error", err)
 	} else {
-		a.logf("store: spill %s failed after %d attempts: %v", path, a.pol.Attempts, err)
+		a.log.Warn("store: spill failed", "path", path, "attempts", a.pol.Attempts, "error", err)
 	}
 }
 
@@ -388,10 +423,10 @@ type keyMismatchError struct{ detail string }
 
 func (e *keyMismatchError) Error() string { return e.detail }
 
-func (a *artifactStore) loadTrace(k engine.Key) (*trace.Recorded, bool) {
+func (a *artifactStore) loadTrace(ctx context.Context, k engine.Key) (*trace.Recorded, bool) {
 	path := a.tracePath(k)
 	var rec *trace.Recorded
-	ok := a.loadArtifact(path, func() error {
+	ok := a.loadArtifact(ctx, path, func() error {
 		r, err := trace.ReadFileFS(a.fs, path)
 		if err != nil {
 			return err
@@ -405,9 +440,9 @@ func (a *artifactStore) loadTrace(k engine.Key) (*trace.Recorded, bool) {
 	return rec, ok
 }
 
-func (a *artifactStore) storeTrace(k engine.Key, rec *trace.Recorded) {
+func (a *artifactStore) storeTrace(ctx context.Context, k engine.Key, rec *trace.Recorded) {
 	path := a.tracePath(k)
-	a.storeArtifact(path, func() error {
+	a.storeArtifact(ctx, path, func() error {
 		return rec.WriteFileFS(a.fs, path)
 	})
 }
@@ -415,10 +450,10 @@ func (a *artifactStore) storeTrace(k engine.Key, rec *trace.Recorded) {
 // loadProfile reloads a persisted profile on a cache miss or a compact-tier
 // promotion: the path that lets a restarted replica serve cold predictions
 // without ever running the profiling pass.
-func (a *artifactStore) loadProfile(pk engine.ProfileKey) (*profiler.Profile, bool) {
+func (a *artifactStore) loadProfile(ctx context.Context, pk engine.ProfileKey) (*profiler.Profile, bool) {
 	path := a.profilePath(pk)
 	var prof *profiler.Profile
-	ok := a.loadArtifact(path, func() error {
+	ok := a.loadArtifact(ctx, path, func() error {
 		p, opts, err := profilefmt.ReadFileFS(a.fs, path)
 		if err != nil {
 			return err
@@ -435,9 +470,9 @@ func (a *artifactStore) loadProfile(pk engine.ProfileKey) (*profiler.Profile, bo
 	return prof, ok
 }
 
-func (a *artifactStore) storeProfile(pk engine.ProfileKey, prof *profiler.Profile) {
+func (a *artifactStore) storeProfile(ctx context.Context, pk engine.ProfileKey, prof *profiler.Profile) {
 	path := a.profilePath(pk)
-	a.storeArtifact(path, func() error {
+	a.storeArtifact(ctx, path, func() error {
 		return profilefmt.WriteFileFS(a.fs, path, prof, pk.Opts)
 	})
 }

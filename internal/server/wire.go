@@ -59,6 +59,10 @@ type PredictRequest struct {
 	Scale     float64 `json:"scale"`
 	Baselines bool    `json:"baselines,omitempty"`
 	Simulate  bool    `json:"simulate,omitempty"`
+	// Debug adds the request's span tree (stage durations, cache
+	// outcomes, bytes touched) to the response. Off, the response bytes
+	// are identical to a server without tracing at all.
+	Debug bool `json:"debug,omitempty"`
 }
 
 // PredictResponse is the full RPPM prediction for one (benchmark, seed,
@@ -80,6 +84,10 @@ type PredictResponse struct {
 	CritCycles *float64 `json:"crit_cycles,omitempty"`
 	SimCycles  *float64 `json:"sim_cycles,omitempty"`
 	SimSeconds *float64 `json:"sim_seconds,omitempty"`
+
+	// Debug carries the span tree when the request asked for it;
+	// omitted (and the bytes unchanged) otherwise.
+	Debug *DebugTrace `json:"debug,omitempty"`
 }
 
 // SweepPoint is one design point of a sweep response, ranked by the caller.
@@ -106,6 +114,9 @@ type SweepRequest struct {
 	Seed    uint64  `json:"seed"`
 	Scale   float64 `json:"scale"`
 	Batch   int     `json:"batch,omitempty"`
+	// Debug adds the request's span tree to the response (see
+	// PredictRequest.Debug).
+	Debug bool `json:"debug,omitempty"`
 }
 
 // SweepResponse is the design-space sweep outcome, in SweepSpace order.
@@ -115,6 +126,9 @@ type SweepResponse struct {
 	Scale   float64      `json:"scale"`
 	Points  []SweepPoint `json:"points"`
 	Fastest string       `json:"fastest"` // lowest simulated time
+
+	// Debug carries the span tree when the request asked for it.
+	Debug *DebugTrace `json:"debug,omitempty"`
 }
 
 // BenchmarkInfo describes one built-in benchmark.
