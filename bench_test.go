@@ -111,6 +111,28 @@ func BenchmarkSweep16(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(space))/1e6, "ms/config")
 }
 
+// BenchmarkSweepSkewed is the sweep benchmark on a registry workload: the
+// skewed-sharing family at its golden scale, whose trace is large enough
+// to cross the config-batched stepping gate — so this measures the batched
+// path on a zipf-skewed, directory-filter-heavy instruction mix rather
+// than the uniform footprints of the fixed suite.
+func BenchmarkSweepSkewed(b *testing.B) {
+	bm, err := rppm.ResolveBenchmark("skewed-sharing")
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := rppm.SweepSpace(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := rppm.NewEngine(rppm.EngineOptions{Workers: 1}).NewSession()
+		if _, err := s.SimulateSweep(context.Background(), bm, 1, 0.5, space); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(space))/1e6, "ms/config")
+}
+
 // BenchmarkSweep16Regen is the pre-record/replay baseline: the same 16
 // configurations, each simulation regenerating the instruction streams
 // from the prng-driven generators.

@@ -22,6 +22,7 @@ import (
 
 	"rppm"
 	"rppm/internal/experiments"
+	"rppm/internal/suitecheck"
 )
 
 func main() {
@@ -29,7 +30,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload generation seed")
 	parallel := flag.Int("parallel", 0, "max concurrent profile/simulate/predict jobs (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "log every completed profile/simulation to stderr")
+	suites := flag.Bool("suites", false, "verify the suite registry's golden invariants instead of running experiments")
 	flag.Parse()
+
+	if *suites {
+		os.Exit(verifySuites())
+	}
 
 	if *scale <= 0 {
 		fmt.Fprintln(os.Stderr, "rppm-experiments: -scale must be positive")
@@ -62,6 +68,32 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
 	}
+}
+
+// verifySuites runs every registry entry through the golden-invariant
+// harness (the same check CI and `rppm suite -verify` run), so the
+// experiment pipeline's inputs are known-good before regeneration.
+func verifySuites() int {
+	reg, err := rppm.Suites()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rppm-experiments:", err)
+		return 1
+	}
+	failed := 0
+	for _, e := range reg.Entries {
+		rep, err := suitecheck.CheckEntry(e)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", e.Name, err)
+			failed++
+			continue
+		}
+		fmt.Printf("ok   %-16s %8d instrs  %s\n", rep.Name, rep.Instrs, rep.Hash[:12])
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "rppm-experiments: %d of %d registry entries failed\n", failed, len(reg.Entries))
+		return 1
+	}
+	return 0
 }
 
 func runOne(name string, cfg experiments.Config) error {

@@ -10,6 +10,7 @@
 //	rppm bottle   -bench NAME [flags]  # bottle graphs (model vs simulation)
 //	rppm sweep    -bench NAME [flags]  # record once, simulate -configs N points
 //	rppm profile  -bench NAME [flags]  # persist a profile (.rpp) for serve spill dirs
+//	rppm suite    [-verify] [-rehash]  # suite registry: list, check or regenerate invariants
 //	rppm serve    [flags]              # resident HTTP/JSON prediction service
 //
 // Common flags: -config (smallest|small|base|big|biggest), -scale, -seed,
@@ -35,6 +36,7 @@ import (
 	"rppm/internal/profilefmt"
 	"rppm/internal/profiler"
 	"rppm/internal/server"
+	"rppm/internal/suitecheck"
 	"rppm/internal/textplot"
 )
 
@@ -47,6 +49,9 @@ func main() {
 	if cmd == "serve" {
 		// The serve subcommand owns its flag set (shared with rppm-serve).
 		os.Exit(server.Main(os.Args[2:]))
+	}
+	if cmd == "suite" {
+		os.Exit(suiteMain(os.Args[2:]))
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	benchName := fs.String("bench", "", "benchmark name (see `rppm list`)")
@@ -128,7 +133,83 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle|sweep|profile|serve} [-bench NAME] [-config base] [-configs 16] [-batch 0] [-scale 0.3] [-seed 1] [-parallel N] [-json] [-trace-dir DIR] [-o FILE]")
+	fmt.Fprintln(os.Stderr, "usage: rppm {list|predict|simulate|compare|bottle|sweep|profile|suite|serve} [-bench NAME] [-config base] [-configs 16] [-batch 0] [-scale 0.3] [-seed 1] [-parallel N] [-json] [-trace-dir DIR] [-o FILE]")
+}
+
+// suiteMain implements the suite subcommand: with no flags it lists the
+// registry; -verify runs every entry (or -entry NAME) through the
+// golden-invariant harness; -rehash recomputes and prints the invariant
+// hashes in suites.toml-ready form for intentional model changes.
+func suiteMain(args []string) int {
+	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	verify := fs.Bool("verify", false, "run every entry through the four execution modes and check its invariant hash")
+	rehash := fs.Bool("rehash", false, "recompute invariant hashes and print them in suites.toml form")
+	entry := fs.String("entry", "", "restrict -verify/-rehash to one registry entry")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	reg, err := rppm.Suites()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rppm suite:", err)
+		return 1
+	}
+	entries := reg.Entries
+	if *entry != "" {
+		e, ok := reg.ByName(*entry)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rppm suite: no registry entry %q (try `rppm suite`)\n", *entry)
+			return 1
+		}
+		entries = []rppm.SuiteEntry{e}
+	}
+
+	if !*verify && !*rehash {
+		var rows [][]string
+		for _, e := range entries {
+			family := e.Family
+			if family == "" {
+				family = "-"
+			}
+			rows = append(rows, []string{e.Name, family,
+				fmt.Sprintf("%d", e.Seed), fmt.Sprintf("%v", e.Scale), e.Invariant[:12] + "…"})
+		}
+		fmt.Print(textplot.Table([]string{"entry", "family", "seed", "scale", "invariant"}, rows))
+		fmt.Println("\nfamilies:")
+		var frows [][]string
+		for _, f := range rppm.Families() {
+			params := ""
+			for i, p := range f.Params {
+				if i > 0 {
+					params += " "
+				}
+				params += fmt.Sprintf("%s=%v", p.Name, p.Default)
+			}
+			frows = append(frows, []string{f.Name, f.Doc, params})
+		}
+		fmt.Print(textplot.Table([]string{"family", "description", "defaults"}, frows))
+		return 0
+	}
+
+	failed := 0
+	for _, e := range entries {
+		rep, err := suitecheck.CheckEntry(e)
+		switch {
+		case *rehash && rep != nil:
+			// toml-ready: paste over the entry's invariant line.
+			fmt.Printf("# %s\ninvariant = %q\n", e.Name, rep.Hash)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", e.Name, err)
+			failed++
+		default:
+			fmt.Printf("ok   %-16s %8d instrs  filter %5.1f%%  %s\n",
+				rep.Name, rep.Instrs, 100*rep.FilterRate(), rep.Hash[:12])
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "rppm suite: %d of %d entries failed verification\n", failed, len(entries))
+		return 1
+	}
+	return 0
 }
 
 // writeProfile collects a workload profile and persists it in the artifact
@@ -136,7 +217,7 @@ func usage() {
 // exact name `rppm serve -trace-dir` looks up, so a serve spill directory
 // can be pre-seeded and a cold server never runs the profiler.
 func writeProfile(s *rppm.Session, benchName string, scale float64, seed uint64, traceDir, outPath string) error {
-	bench, err := rppm.BenchmarkByName(benchName)
+	bench, err := rppm.ResolveBenchmark(benchName)
 	if err != nil {
 		return err
 	}
@@ -170,7 +251,7 @@ func writeProfile(s *rppm.Session, benchName string, scale float64, seed uint64,
 // byte-comparable with a curl of the serving endpoint (the CI smoke job
 // diffs exactly that).
 func jsonPredict(s *rppm.Session, benchName string, cfg arch.Config, scale float64, seed uint64) error {
-	bench, err := rppm.BenchmarkByName(benchName)
+	bench, err := rppm.ResolveBenchmark(benchName)
 	if err != nil {
 		return err
 	}
@@ -188,7 +269,7 @@ func jsonPredict(s *rppm.Session, benchName string, cfg arch.Config, scale float
 // byte-comparable with a curl of the serving endpoint (the CI smoke job
 // diffs exactly that).
 func jsonSweep(s *rppm.Session, benchName string, nconfigs, batch int, scale float64, seed uint64) error {
-	bench, err := rppm.BenchmarkByName(benchName)
+	bench, err := rppm.ResolveBenchmark(benchName)
 	if err != nil {
 		return err
 	}
@@ -206,7 +287,7 @@ func jsonSweep(s *rppm.Session, benchName string, nconfigs, batch int, scale flo
 // profile of the same recording) computed in the same fan-out, then ranks
 // the points by simulated time.
 func sweep(s *rppm.Session, benchName string, nconfigs, batch int, scale float64, seed uint64) error {
-	bench, err := rppm.BenchmarkByName(benchName)
+	bench, err := rppm.ResolveBenchmark(benchName)
 	if err != nil {
 		return err
 	}
@@ -264,6 +345,17 @@ func list() {
 		rows = append(rows, []string{b.Name, b.Kind.String(), b.Input})
 	}
 	fmt.Print(textplot.Table([]string{"name", "suite", "input"}, rows))
+	if reg, err := rppm.Suites(); err == nil {
+		fmt.Println("\nregistry-only entries (synthetic families; see `rppm suite`):")
+		var srows [][]string
+		for _, e := range reg.Entries {
+			if e.Family == "" {
+				continue
+			}
+			srows = append(srows, []string{e.Name, "synthetic", "family " + e.Family})
+		}
+		fmt.Print(textplot.Table([]string{"name", "suite", "input"}, srows))
+	}
 	fmt.Println("\nconfigurations:")
 	var crows [][]string
 	for _, c := range rppm.DesignSpace() {
@@ -279,7 +371,7 @@ func list() {
 // built once and shared by the profiler and the simulator, and independent
 // stages (e.g. compare's profile and simulation) run concurrently.
 func run(s *rppm.Session, cmd, benchName string, cfg arch.Config, scale float64, seed uint64) error {
-	bench, err := rppm.BenchmarkByName(benchName)
+	bench, err := rppm.ResolveBenchmark(benchName)
 	if err != nil {
 		return err
 	}

@@ -315,6 +315,7 @@ type Hierarchy struct {
 	privMax   uint64 // first line the filter cannot pack; 0 disables it
 
 	filterHits uint64
+	dirProbes  uint64
 
 	// Counters per core and level, for CPI-stack accounting and MPKI,
 	// flattened to served[core*NumLevels+level] so the per-access increment
@@ -454,6 +455,7 @@ func (h *Hierarchy) AccessData(core int, addr uint64, write bool) (latency int, 
 	// read of a line that is dirty in another private cache triggers a
 	// remote transfer (and downgrades the owner's copy to shared). The
 	// packed directory entry resolves owner and sharers in one probe.
+	h.dirProbes++
 	d := h.dir.Ref(line)
 	e := *d
 	remote := false
@@ -534,6 +536,11 @@ func (h *Hierarchy) finishData(core int, line uint64, write, remote bool) (laten
 // FilterHits returns the number of accesses served with the directory
 // probe skipped by the private-line filter (diagnostics and tests).
 func (h *Hierarchy) FilterHits() uint64 { return h.filterHits }
+
+// DirProbes returns the number of accesses that paid the directory probe
+// (the accesses the filter did not elide). FilterHits/(FilterHits +
+// DirProbes) is the filter's hit rate over directory-bound traffic.
+func (h *Hierarchy) DirProbes() uint64 { return h.dirProbes }
 
 // LoadMRU is the inlineable fast path for the commonest data access of
 // all: a read that hits the most-recently-used way of the core's L1D set.

@@ -1,0 +1,228 @@
+package prng
+
+import (
+	"math"
+	"testing"
+)
+
+// zipfNaive is the reference form of ZipfTable.Sample: draw u = Float64()
+// and linearly scan the cumulative distribution for the first rank with
+// u < cum[rank], falling back to the last rank. The table is required to
+// reproduce this draw for draw.
+func zipfNaive(s *Source, cum []float64) int {
+	u := s.Float64()
+	for r, c := range cum {
+		if u < c {
+			return r
+		}
+	}
+	return len(cum) - 1
+}
+
+// hotspotNaive is the reference form of HotspotTable.Sample.
+func hotspotNaive(s *Source, n, hotN int, hotFrac float64) int {
+	if s.Bool(hotFrac) {
+		return int(s.Uint64n(uint64(hotN)))
+	}
+	return hotN + int(s.Uint64n(uint64(n-hotN)))
+}
+
+// TestZipfTableDifferential checks table == naive scan draw for draw over
+// fixed seeds, across item counts (power-of-two and not) and exponents,
+// and that both consume identical generator state.
+func TestZipfTableDifferential(t *testing.T) {
+	draws := 200000
+	if testing.Short() {
+		draws = 20000
+	}
+	for _, n := range []int{1, 2, 7, 64, 1000, 4096, 65536} {
+		for _, theta := range []float64{0.5, 0.99, 1.0, 1.5} {
+			tab := NewZipfTable(n, theta)
+			cum := zipfCum(n, theta)
+			a, b := New(uint64(n)*31+uint64(theta*100)), New(uint64(n)*31+uint64(theta*100))
+			for i := 0; i < draws; i++ {
+				want := zipfNaive(a, cum)
+				got := tab.Sample(b)
+				if got != want {
+					t.Fatalf("n=%d theta=%v draw %d: Sample=%d want=%d", n, theta, i, got, want)
+				}
+			}
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("n=%d theta=%v: generator states diverged", n, theta)
+			}
+		}
+	}
+}
+
+// TestZipfTableBoundaries checks the exact grid-count construction near
+// every rank boundary: the largest grid index mapping to rank r and the
+// smallest mapping to r+1 must both agree with the reference scan.
+func TestZipfTableBoundaries(t *testing.T) {
+	for _, n := range []int{2, 16, 1000} {
+		theta := 0.99
+		tab := NewZipfTable(n, theta)
+		cum := zipfCum(n, theta)
+		refAt := func(m uint64) int {
+			u := float64(m) / (1 << 53)
+			for r, c := range cum {
+				if u < c {
+					return r
+				}
+			}
+			return n - 1
+		}
+		for r := 0; r < n-1; r++ {
+			b := tab.counts[r]
+			if b == 0 || b >= geomGridMax {
+				continue
+			}
+			if got := refAt(b - 1); got > r {
+				t.Fatalf("n=%d rank %d: grid %d below count %d maps to %d", n, r, b-1, b, got)
+			}
+			if got := refAt(b); got <= r {
+				t.Fatalf("n=%d rank %d: grid %d at count %d still maps to %d", n, r, b, b, got)
+			}
+		}
+	}
+}
+
+// TestZipfTableSkew sanity-checks the distribution shape: rank 0 must be
+// the most frequent, and the hot prefix must concentrate mass roughly as
+// the exponent dictates.
+func TestZipfTableSkew(t *testing.T) {
+	tab := NewZipfTable(1024, 0.99)
+	s := New(7)
+	n := 200000
+	counts := make([]int, 1024)
+	for i := 0; i < n; i++ {
+		counts[tab.Sample(s)]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] {
+		t.Fatalf("zipf head not decreasing: c0=%d c1=%d c10=%d", counts[0], counts[1], counts[10])
+	}
+	head := 0
+	for _, c := range counts[:103] { // top ~10% of ranks
+		head += c
+	}
+	if frac := float64(head) / float64(n); frac < 0.5 {
+		t.Fatalf("top 10%% of ranks drew only %.2f of accesses, want > 0.5", frac)
+	}
+}
+
+// TestHotspotTableDifferential checks table == naive form draw for draw
+// across power-of-two and non-power-of-two set sizes.
+func TestHotspotTableDifferential(t *testing.T) {
+	draws := 200000
+	if testing.Short() {
+		draws = 20000
+	}
+	cases := []struct {
+		n, hotN int
+		frac    float64
+	}{
+		{1024, 64, 0.8},
+		{1000, 100, 0.9},
+		{4096, 1, 0.5},
+		{640, 128, 0.0},
+		{512, 511, 1.0},
+	}
+	for _, c := range cases {
+		tab := NewHotspotTable(c.n, c.hotN, c.frac)
+		a, b := New(uint64(c.n)), New(uint64(c.n))
+		for i := 0; i < draws; i++ {
+			want := hotspotNaive(a, c.n, c.hotN, c.frac)
+			got := tab.Sample(b)
+			if got != want {
+				t.Fatalf("%+v draw %d: Sample=%d want=%d", c, i, got, want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("%+v: generator states diverged", c)
+		}
+	}
+}
+
+// TestHotspotTableMass checks the hot set actually receives its share.
+func TestHotspotTableMass(t *testing.T) {
+	tab := NewHotspotTable(4096, 256, 0.8)
+	s := New(11)
+	n := 100000
+	hot := 0
+	for i := 0; i < n; i++ {
+		if tab.Sample(s) < 256 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(n); math.Abs(frac-0.8) > 0.01 {
+		t.Fatalf("hot fraction %.3f, want ~0.8", frac)
+	}
+}
+
+// TestLatestTableDifferential checks table == naive form draw for draw,
+// including the early positions where the window wraps.
+func TestLatestTableDifferential(t *testing.T) {
+	draws := 50000
+	if testing.Short() {
+		draws = 5000
+	}
+	window := 256
+	tab := NewLatestTable(window, 0.99)
+	cum := zipfCum(window, 0.99)
+	a, b := New(3), New(3)
+	for i := 0; i < draws; i++ {
+		max := uint64(i % 1000) // sweeps through wrap (< window) and steady state
+		want := max - uint64(zipfNaive(a, cum))%(max+1)
+		got := tab.Sample(b, max)
+		if got != want {
+			t.Fatalf("draw %d max=%d: Sample=%d want=%d", i, max, got, want)
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("generator states diverged")
+	}
+}
+
+// TestLatestTableRecency checks the newest position dominates.
+func TestLatestTableRecency(t *testing.T) {
+	tab := NewLatestTable(128, 0.99)
+	s := New(5)
+	const max = uint64(1 << 20)
+	n := 100000
+	newest := 0
+	for i := 0; i < n; i++ {
+		if tab.Sample(s, max) == max {
+			newest++
+		}
+	}
+	if frac := float64(newest) / float64(n); frac < 0.1 {
+		t.Fatalf("newest position drew only %.3f of accesses, want the zipf head share", frac)
+	}
+}
+
+func TestZipfTablePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipfTable(0, 0.99) },
+		func() { NewZipfTable(8, 0) },
+		func() { NewHotspotTable(1, 1, 0.5) },
+		func() { NewHotspotTable(8, 8, 0.5) },
+		func() { NewHotspotTable(8, 2, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	tab := NewZipfTable(1<<16, 0.99)
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Sample(s)
+	}
+}

@@ -455,7 +455,7 @@ func parsePredict(r *http.Request) (PredictRequest, workload.Benchmark, arch.Con
 	if !(req.Scale > 0) || req.Scale > 1 {
 		return req, workload.Benchmark{}, arch.Config{}, badRequest("scale must be in (0, 1], got %v", req.Scale)
 	}
-	bm, err := workload.ByName(req.Bench)
+	bm, err := workload.ResolveBenchmark(req.Bench)
 	if err != nil {
 		return req, workload.Benchmark{}, arch.Config{}, badRequest("%v", err)
 	}
@@ -544,7 +544,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	bm, err := workload.ByName(req.Bench)
+	bm, err := workload.ResolveBenchmark(req.Bench)
 	psp.End()
 	if err != nil {
 		writeErr(w, badRequest("%v", err))

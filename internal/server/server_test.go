@@ -58,8 +58,22 @@ func TestLightEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatalf("benchmarks: %v", err)
 	}
-	if len(benches) != len(workload.Suite()) {
-		t.Errorf("listed %d benchmarks, want %d", len(benches), len(workload.Suite()))
+	// The fixed suite plus the registry's family-instantiated entries.
+	wantBenches := len(workload.Suite()) + len(workload.Families())
+	if len(benches) != wantBenches {
+		t.Errorf("listed %d benchmarks, want %d", len(benches), wantBenches)
+	}
+	fams := 0
+	for _, b := range benches {
+		if b.Family != "" {
+			if b.Suite != "synthetic" {
+				t.Errorf("family entry %s has suite %q, want synthetic", b.Name, b.Suite)
+			}
+			fams++
+		}
+	}
+	if fams != len(workload.Families()) {
+		t.Errorf("listed %d family entries, want %d", fams, len(workload.Families()))
 	}
 	archs, err := c.Archs(ctx)
 	if err != nil {

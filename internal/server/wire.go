@@ -131,11 +131,12 @@ type SweepResponse struct {
 	Debug *DebugTrace `json:"debug,omitempty"`
 }
 
-// BenchmarkInfo describes one built-in benchmark.
+// BenchmarkInfo describes one built-in benchmark or registry entry.
 type BenchmarkInfo struct {
-	Name  string `json:"name"`
-	Suite string `json:"suite"`
-	Input string `json:"input"`
+	Name   string `json:"name"`
+	Suite  string `json:"suite"`
+	Input  string `json:"input"`
+	Family string `json:"family,omitempty"` // synthetic family, empty for the fixed suite
 }
 
 // configByName resolves a design-point name against the Table IV space.
@@ -250,11 +251,25 @@ func BuildSweep(ctx context.Context, s *engine.Session, bm workload.Benchmark, r
 	return resp, nil
 }
 
-// ListBenchmarks describes the built-in suite.
+// ListBenchmarks describes the built-in suite plus the registry's
+// family-instantiated entries, so /v1/benchmarks advertises every name
+// the predict/sweep endpoints resolve.
 func ListBenchmarks() []BenchmarkInfo {
 	var out []BenchmarkInfo
 	for _, b := range workload.Suite() {
 		out = append(out, BenchmarkInfo{Name: b.Name, Suite: b.Kind.String(), Input: b.Input})
+	}
+	if reg, err := workload.DefaultSuites(); err == nil {
+		for _, e := range reg.Entries {
+			if e.Family == "" {
+				continue // fixed-suite entries are already listed above
+			}
+			if bm, err := e.Benchmark(); err == nil {
+				out = append(out, BenchmarkInfo{
+					Name: bm.Name, Suite: bm.Kind.String(), Input: bm.Input, Family: bm.Family,
+				})
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,63 @@
+package sim_test
+
+import (
+	"testing"
+
+	"rppm/internal/arch"
+	"rppm/internal/sim"
+	"rppm/internal/workload"
+)
+
+// TestSkewedSharingFilterRate documents the directory private-line filter
+// finally earning its keep: the fixed benchmark suite's uniform footprints
+// keep the filter at ~0–1% hit rate (lines are rarely re-fetched after
+// eviction in a stable private state), while the skewed-sharing family's
+// zipf-popular lines come back again and again. At the family's default
+// parameters the filter must elide at least 8% of directory-bound traffic
+// — an order of magnitude above the fixed suite — and the probe counters
+// must account for real directory pressure.
+func TestSkewedSharingFilterRate(t *testing.T) {
+	scale := 1.0
+	if testing.Short() {
+		scale = 0.5 // the registry's golden scale; same floor holds
+	}
+	f, err := workload.FamilyByName("skewed-sharing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := f.Bench("skewed-sharing", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(bm.Build(1, scale), arch.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.FilterHits + res.DirProbes
+	if total == 0 {
+		t.Fatal("no directory-bound accesses at all")
+	}
+	rate := float64(res.FilterHits) / float64(total)
+	t.Logf("filter: %d hits / %d probes (rate %.3f)", res.FilterHits, res.DirProbes, rate)
+	const floor = 0.08
+	if rate < floor {
+		t.Errorf("filter hit rate %.4f below the %.2f floor the skewed-sharing family exists to exceed", rate, floor)
+	}
+	// Contrast with a uniform fixed-suite benchmark at the same scale
+	// band: the filter should be near-idle there, confirming the new
+	// family, not a filter change, produces the rate above.
+	ubm, err := workload.ByName("backprop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ures, err := sim.Run(ubm.Build(1, 0.05), arch.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if utotal := ures.FilterHits + ures.DirProbes; utotal > 0 {
+		urate := float64(ures.FilterHits) / float64(utotal)
+		if urate >= rate {
+			t.Errorf("uniform benchmark filter rate %.4f not below skewed rate %.4f", urate, rate)
+		}
+	}
+}

@@ -61,6 +61,13 @@ type Result struct {
 	Cycles  float64 // program execution time in cycles
 	Seconds float64
 	Threads []ThreadResult
+
+	// FilterHits and DirProbes expose the coherence hierarchy's
+	// private-line filter counters: accesses whose directory probe the
+	// filter elided versus accesses that paid it. Diagnostics only — no
+	// golden hash covers them.
+	FilterHits uint64
+	DirProbes  uint64
 }
 
 // SizeBytes returns the resident size of the result, for memory-budget
@@ -524,6 +531,8 @@ func (e *engine) result() *Result {
 		})
 	}
 	res.Seconds = e.cfg.CyclesToSeconds(res.Cycles)
+	res.FilterHits = e.hier.FilterHits()
+	res.DirProbes = e.hier.DirProbes()
 	return res
 }
 

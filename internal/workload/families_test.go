@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"rppm/internal/trace"
+)
+
+// TestFamiliesBuild checks every family's default instance is structurally
+// valid at full and reduced scale, carries the synthetic kind, and sits in
+// the intended dynamic-size band at scale 1.0 (large enough to overflow
+// the config-batch gate and the simulated L2; small enough for CI).
+func TestFamiliesBuild(t *testing.T) {
+	for _, f := range Families() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			bm, err := f.Bench(f.Name, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bm.Kind != Synthetic || bm.Family != f.Name {
+				t.Fatalf("benchmark metadata wrong: %+v", bm)
+			}
+			if bm.Kind.String() != "synthetic" {
+				t.Fatalf("SuiteKind string %q", bm.Kind.String())
+			}
+			p := bm.Build(1, 1.0)
+			if err := Validate(p); err != nil {
+				t.Fatal(err)
+			}
+			if testing.Short() {
+				return
+			}
+			n := p.TotalInstructions()
+			if n < 400_000 || n > 1_200_000 {
+				t.Errorf("scale-1.0 instruction count %d outside [400k, 1.2M]", n)
+			}
+			if err := Validate(bm.Build(7, 0.05)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFamilyDeterminism checks a family instance is a pure function of
+// (seed, scale): two builds stream identical items, and a different seed
+// diverges.
+func TestFamilyDeterminism(t *testing.T) {
+	f, err := FamilyByName("skewed-sharing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := f.Bench("skew", map[string]float64{"theta": 1.2, "rounds": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := bm.Build(3, 0.1), bm.Build(3, 0.1)
+	other := bm.Build(4, 0.1)
+	sameAsOther := true
+	for tid := 0; tid < a.NumThreads(); tid++ {
+		sa, sb, so := a.Thread(tid), b.Thread(tid), other.Thread(tid)
+		for {
+			ia, oka := sa.Next()
+			ib, okb := sb.Next()
+			if oka != okb || ia != ib {
+				t.Fatalf("thread %d: same-seed builds diverge", tid)
+			}
+			if io, oko := so.Next(); oko != oka || io != ia {
+				sameAsOther = false
+			}
+			if !oka {
+				break
+			}
+		}
+	}
+	if sameAsOther {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestFamilyParamValidation exercises the override checks directly.
+func TestFamilyParamValidation(t *testing.T) {
+	f, err := FamilyByName("pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(map[string]float64{"bogus": 1}); err == nil ||
+		!strings.Contains(err.Error(), "no parameter") {
+		t.Fatalf("unknown param: %v", err)
+	}
+	if err := f.Validate(map[string]float64{"tokens": 0}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("range check: %v", err)
+	}
+	if _, err := f.Bench("p", map[string]float64{"tokens": -3}); err == nil {
+		t.Fatal("Bench accepted an invalid override")
+	}
+	if _, err := FamilyByName("nosuch"); err == nil {
+		t.Fatal("unknown family did not error")
+	}
+	bm, err := f.Bench("p", map[string]float64{"tokens": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bm.Input, "tokens=2") {
+		t.Fatalf("Input does not carry the resolved parameters: %q", bm.Input)
+	}
+}
+
+// TestZipfThetaZeroKeepsDraws locks the bit-compatibility contract behind
+// every pre-existing golden hash: a Block with zero zipf exponents
+// generates the identical instruction stream it did before the
+// distribution layer existed (the zipf tables must be nil, not
+// theta-epsilon variants).
+func TestZipfThetaZeroKeepsDraws(t *testing.T) {
+	blk := Block{N: 5000, Mix: MixInt(), PrivateBytes: 1 * MB,
+		SharedBytes: 2 * MB, SharedFrac: 0.3, SeqFrac: 0.2}
+	ga := newBlockGen(blk, 0, 5000, 42)
+	zeroed := blk
+	zeroed.PrivZipfTheta, zeroed.SharedZipfTheta = 0, 0
+	gb := newBlockGen(zeroed, 0, 5000, 42)
+	for i := 0; i < 5000; i++ {
+		if ga.next() != gb.next() {
+			t.Fatalf("instruction %d differs with explicit zero thetas", i)
+		}
+	}
+}
+
+// TestZipfSkewsAddresses checks the wiring end to end: with a positive
+// exponent the most popular line must absorb far more references than a
+// uniform draw would give it, and the scrambling bijection must spread hot
+// ranks away from the region base.
+func TestZipfSkewsAddresses(t *testing.T) {
+	blk := Block{N: 60000, Mix: MixStream(), PrivateBytes: 1 * MB,
+		SeqFrac: 0.01, PrivZipfTheta: 1.2}
+	g := newBlockGen(blk, 0, 60000, 9)
+	counts := make(map[uint64]int)
+	for !g.done() {
+		in := g.next()
+		if in.Class == trace.Load || in.Class == trace.Store {
+			counts[in.Addr/lineBytes]++
+		}
+	}
+	lines := int(blk.PrivateBytes / lineBytes)
+	max, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	// Uniform would give ~total/lines to every line; zipf theta=1.2 gives
+	// the top line a double-digit share.
+	if float64(max) < 20*float64(total)/float64(lines) {
+		t.Fatalf("hottest line drew %d of %d refs over %d lines — no skew visible", max, total, lines)
+	}
+	if len(counts) < lines/20 {
+		t.Fatalf("only %d distinct lines touched — scrambling bijection looks broken", len(counts))
+	}
+}

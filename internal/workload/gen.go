@@ -101,6 +101,18 @@ type Block struct {
 	BranchSites int
 	BranchBias  float64
 	RandomFrac  float64
+
+	// Skewed line popularity (the YCSB-style distribution layer in
+	// internal/prng). When an exponent is positive, the corresponding
+	// region's non-sequential references draw a zipfian rank instead of a
+	// uniform line: rank 0 is the most popular line, with popularity
+	// falling off as 1/(rank+1)^theta. Ranks are mapped to lines through
+	// a fixed bijection so hot lines spread over the footprint instead of
+	// clustering at its base (YCSB's scrambled-zipfian idiom). The zero
+	// values keep the original uniform draws bit-exactly, so every
+	// pre-existing benchmark is unaffected.
+	PrivZipfTheta   float64 // private-region random refs
+	SharedZipfTheta float64 // shared-region random refs
 }
 
 // withDefaults fills zero-valued fields with safe defaults so that sparse
@@ -147,6 +159,7 @@ type blockGen struct {
 	// footprints the suite mostly uses.
 	classTable              *prng.PickTable
 	depTable                *prng.GeometricTable
+	privZipf, sharedZipf    *prng.ZipfTable // nil = uniform (the original draws)
 	pcIndex                 int
 	sharedLines, sharedMask uint64
 	privLines, privMask     uint64
@@ -193,6 +206,8 @@ func (g *blockGen) init(b Block, tid, n int, seed uint64) {
 	g.sharedLines, g.sharedMask = linesOf(b.SharedBytes)
 	g.privLines, g.privMask = linesOf(b.PrivateBytes)
 	g.hotLines, g.hotMask = linesOf(b.HotBytes)
+	g.privZipf = zipfTableFor(g.privLines, b.PrivZipfTheta)
+	g.sharedZipf = zipfTableFor(g.sharedLines, b.SharedZipfTheta)
 	g.halfT = prng.BoolThresh(0.5)
 	g.sharedT = prng.BoolThresh(b.SharedFrac)
 	g.seqT = prng.BoolThresh(b.SeqFrac)
@@ -249,6 +264,46 @@ func classTableFor(key [trace.NumClasses]float64) *prng.PickTable {
 	t := prng.NewPickTable(key[:])
 	actual, _ := classTables.LoadOrStore(key, t)
 	return actual.(*prng.PickTable)
+}
+
+// zipfKey identifies a cached zipfian line-popularity sampler.
+type zipfKey struct {
+	lines uint64
+	theta float64
+}
+
+// zipfTables caches line-popularity samplers per (footprint, exponent):
+// building one costs a Pow per line, and block generators are
+// instantiated per segment.
+var zipfTables sync.Map // zipfKey -> *prng.ZipfTable
+
+// zipfTableFor returns the sampler for a footprint of lines lines with
+// exponent theta, or nil when theta is zero (uniform — the original
+// draws) or the footprint is degenerate.
+func zipfTableFor(lines uint64, theta float64) *prng.ZipfTable {
+	if theta <= 0 || lines < 2 {
+		return nil
+	}
+	key := zipfKey{lines: lines, theta: theta}
+	if t, ok := zipfTables.Load(key); ok {
+		return t.(*prng.ZipfTable)
+	}
+	t := prng.NewZipfTable(int(lines), theta)
+	actual, _ := zipfTables.LoadOrStore(key, t)
+	return actual.(*prng.ZipfTable)
+}
+
+// zipfLine draws a popularity rank and maps it to a line through a fixed
+// bijection: for power-of-two footprints an odd-multiplier mix spreads
+// the hot ranks over the whole region (YCSB's scrambled zipfian); other
+// footprints use the identity, concentrating the hot set at the region
+// base. Consumes exactly one draw.
+func (g *blockGen) zipfLine(t *prng.ZipfTable, mask uint64) uint64 {
+	rank := uint64(t.Sample(&g.rng))
+	if mask != 0 {
+		return (rank * 0x9E3779B97F4A7C15) & mask
+	}
+	return rank
 }
 
 // linesOf returns a byte size's line count plus an index mask when the
@@ -314,7 +369,13 @@ func (g *blockGen) genAddr() uint64 {
 			}
 			return g.lastShared
 		}
-		a := sharedBase + g.randLine(g.sharedLines, g.sharedMask)*lineBytes
+		var ln uint64
+		if g.sharedZipf != nil {
+			ln = g.zipfLine(g.sharedZipf, g.sharedMask)
+		} else {
+			ln = g.randLine(g.sharedLines, g.sharedMask)
+		}
+		a := sharedBase + ln*lineBytes
 		g.lastShared = a
 		return a
 	}
@@ -331,7 +392,13 @@ func (g *blockGen) genAddr() uint64 {
 		g.lastPriv = a
 		return a
 	}
-	a := base + g.randLine(g.privLines, g.privMask)*lineBytes
+	var ln uint64
+	if g.privZipf != nil {
+		ln = g.zipfLine(g.privZipf, g.privMask)
+	} else {
+		ln = g.randLine(g.privLines, g.privMask)
+	}
+	a := base + ln*lineBytes
 	g.lastPriv = a
 	return a
 }

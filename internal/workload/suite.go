@@ -20,20 +20,31 @@ const (
 	// Parsec marks the pthread-style family with critical sections and
 	// condition variables.
 	Parsec
+	// Synthetic marks the parameterized workload families (families.go):
+	// distribution-driven stress programs built from the suite registry
+	// rather than stand-ins for the paper's benchmark tables.
+	Synthetic
 )
 
 func (k SuiteKind) String() string {
-	if k == Rodinia {
+	switch k {
+	case Rodinia:
 		return "rodinia"
+	case Synthetic:
+		return "synthetic"
+	default:
+		return "parsec"
 	}
-	return "parsec"
 }
 
 // Benchmark is a named, buildable workload.
 type Benchmark struct {
 	Name  string
 	Kind  SuiteKind
-	Input string // the paper's Table II input tag (descriptive)
+	Input string // the paper's Table II input tag, or a family parameter set
+	// Family is the synthetic family name for registry-instantiated
+	// benchmarks, empty for the fixed suite.
+	Family string
 	// Build instantiates the program with the given seed and block-size
 	// scale factor in (0, 1].
 	Build func(seed uint64, scale float64) *Program

@@ -196,6 +196,31 @@ func Benchmarks() []Benchmark { return workload.Suite() }
 // BenchmarkByName looks up a built-in benchmark.
 func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
 
+// SuiteEntry is one declarative entry of the suite registry: a benchmark
+// (built-in or family-instantiated) pinned to a seed, scale, parameter set
+// and golden invariant hash.
+type SuiteEntry = workload.SuiteEntry
+
+// SuiteRegistry is a parsed suites.toml.
+type SuiteRegistry = workload.SuiteRegistry
+
+// WorkloadFamily is a parameterized synthetic workload generator.
+type WorkloadFamily = workload.Family
+
+// Suites returns the embedded default suite registry: every built-in
+// benchmark plus one instance of each synthetic family, each pinned to a
+// golden invariant hash (see internal/workload/suites.toml).
+func Suites() (*SuiteRegistry, error) { return workload.DefaultSuites() }
+
+// Families returns the synthetic workload families (skewed-sharing,
+// pointer-chase, pipeline, phase-change).
+func Families() []WorkloadFamily { return workload.Families() }
+
+// ResolveBenchmark resolves a name against the built-in suite first and
+// the suite registry second, so family-instantiated entries (e.g.
+// "skewed-sharing") work anywhere a benchmark name is accepted.
+func ResolveBenchmark(name string) (Benchmark, error) { return workload.ResolveBenchmark(name) }
+
 // Profile collects a program's microarchitecture-independent profile: the
 // one-time cost after which any number of configurations can be predicted.
 func Profile(p Program) (*WorkloadProfile, error) {
